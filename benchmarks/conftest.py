@@ -1,0 +1,38 @@
+"""Benchmark-suite conventions.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), prints the paper-shaped rows into the
+captured output, and asserts the figure's *shape* claims (who wins,
+direction of trends, crossovers) — not absolute numbers.
+
+Each experiment runs exactly once per benchmark (``benchmark.pedantic``
+with one round): the interesting cost is the simulation itself, and the
+repetition protocol is handled inside the drivers via ``REPRO_REPS``.
+
+Environment knobs:
+
+* ``REPRO_FAST=1``   — smoke-scale runs (shorter windows).
+* ``REPRO_REPS=17``  — the artifact's full 17-run trimmed-mean protocol.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a driver exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return run
+
+
+@pytest.fixture(autouse=True)
+def _isolate_profile_cache():
+    """Profiling results are controller-independent and *should* be
+    shared across benchmarks of the same module, but never across
+    modules with different topologies."""
+    yield

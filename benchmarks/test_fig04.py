@@ -1,0 +1,26 @@
+"""Fig. 4 — detection delay vs. violation volume and core cost."""
+
+from repro.experiments.fig04_detection_delay import DELAYS, run_fig04
+
+
+def test_fig04_detection_delay(once, capsys):
+    rows = once(run_fig04)
+    by_delay = {r.delay: r for r in rows}
+
+    # Shape claims: VV grows superlinearly with detection delay — the
+    # paper reports 24× (1 s vs 0.2 ms) and 4.75× (1 s vs 0.5 s).
+    vv_fast = by_delay[0.2e-3].violation_volume
+    vv_mid = by_delay[0.5].violation_volume
+    vv_slow = by_delay[1.0].violation_volume
+    assert vv_fast <= vv_mid <= vv_slow
+    assert vv_slow > 2.0 * vv_mid  # superlinear growth
+
+    with capsys.disabled():
+        print("\n[Fig 4] detection delay study (paper: 24x / 4.75x VV ratios)")
+        for d in DELAYS:
+            r = by_delay[d]
+            print(
+                f"  delay={d * 1e3:7.1f}ms VV={r.violation_volume * 1e3:9.3f}ms·s "
+                f"(x{r.vv_ratio_vs_fastest:9.1f} vs fastest) "
+                f"cores={r.cores_during_surge:.2f} headroom={r.headroom:.2f}"
+            )

@@ -1,0 +1,35 @@
+"""Fig. 5 — threading-model hidden dependencies."""
+
+from repro.experiments.fig05_threading import run_fig05
+
+
+def test_fig05_threading_models(once, capsys):
+    rows = once(run_fig05)
+    cell = {(r.model, r.controller): r for r in rows}
+
+    # Fig. 5(a): with connection-per-request, even the per-container
+    # controller upscales the downstream service.
+    assert cell[("conn-per-request", "parties")].c2_upscaled
+
+    # Fig. 5(b): with a fixed pool the per-container controller pours
+    # cores into c1 and NEVER touches c2.
+    fp_parties = cell[("fixed-pool", "parties")]
+    assert fp_parties.c1_cores_gained > 0
+    assert not fp_parties.c2_upscaled
+
+    # Fig. 5(c): SurgeGuard's metrics upscale both.
+    fp_sg = cell[("fixed-pool", "surgeguard")]
+    assert fp_sg.c2_upscaled
+
+    # And that correctness buys QoS: SurgeGuard's VV beats Parties'
+    # on the fixed-pool topology by a wide margin.
+    assert fp_sg.violation_volume < 0.5 * fp_parties.violation_volume
+
+    with capsys.disabled():
+        print("\n[Fig 5] hidden dependencies (paper: Parties fails on fixed pools)")
+        for r in rows:
+            print(
+                f"  {r.model:17s} {r.controller:10s} c1+={r.c1_cores_gained:.1f} "
+                f"c2+={r.c2_cores_gained:.1f} c2_upscaled={r.c2_upscaled} "
+                f"VV={r.violation_volume * 1e3:.2f}ms·s"
+            )

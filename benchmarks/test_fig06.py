@@ -1,0 +1,27 @@
+"""Fig. 6 — sensitivity curves of two socialNetwork services."""
+
+from repro.experiments.fig06_sensitivity import run_fig06
+
+
+def test_fig06_sensitivity_curves(once, capsys):
+    curves = once(run_fig06)
+    by_name = {c.service: c for c in curves}
+
+    for curve in curves:
+        # Execution time is non-increasing in cores (up to simulation
+        # noise at the flat end).
+        for a, b in zip(curve.exec_metric, curve.exec_metric[1:]):
+            assert b <= a * 1.05
+        # The curve flattens: the last step buys far less than the first
+        # (Fig. 6-right's hogging setup).
+        sens = curve.sensitivity()
+        assert sens[-1] < 0.05
+        assert max(sens) > 0.1
+
+    with capsys.disabled():
+        print("\n[Fig 6] sensitivity curves (exec time vs cores)")
+        for c in curves:
+            pts = "  ".join(
+                f"{k:g}:{m * 1e3:.2f}ms" for k, m in zip(c.cores, c.exec_metric)
+            )
+            print(f"  {c.service}: {pts}")

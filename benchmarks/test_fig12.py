@@ -1,0 +1,45 @@
+"""Fig. 12 — surge-duration sweep (0.1–5 s at 1.75×)."""
+
+from repro.experiments.fig12_surge_duration import DURATIONS, run_fig12
+
+
+def test_fig12_surge_duration(once, capsys):
+    cells = once(run_fig12)
+    sg = [c for c in cells if c.controller == "surgeguard"]
+
+    # 1. SurgeGuard beats Parties at every duration on both workloads.
+    for c in sg:
+        assert c.vv_vs_parties < 1.0, (
+            f"{c.workload}@{c.surge_len}s: {c.vv_vs_parties}"
+        )
+
+    # 2. The improvement grows (or stays extreme) with surge duration:
+    # compare the shortest and longest surge on each workload.
+    for wl in {c.workload for c in sg}:
+        series = sorted(
+            (c for c in sg if c.workload == wl), key=lambda c: c.surge_len
+        )
+        assert (
+            series[-1].vv_vs_parties <= series[0].vv_vs_parties * 1.5
+        ), f"{wl}: improvement did not hold with duration"
+
+    # 3. The CaladanAlgo energy anomaly on recommendHotel: CaladanAlgo
+    # never upscales, so SurgeGuard burns more energy than it while
+    # cutting VV by orders of magnitude (paper: 251× VV at 7.4× energy
+    # for the 5 s surge).
+    reco5 = next(
+        c
+        for c in sg
+        if c.workload == "recommendHotel" and c.surge_len == max(DURATIONS)
+    )
+    assert reco5.energy_vs_caladan > 1.0
+    assert reco5.vv_vs_caladan < 0.05
+
+    with capsys.disabled():
+        print("\n[Fig 12] surge-duration sweep (SurgeGuard, normalized)")
+        for c in sg:
+            print(
+                f"  {c.workload:17s} {c.surge_len:4.1f}s "
+                f"VV/parties={c.vv_vs_parties:8.4f} VV/caladan={c.vv_vs_caladan:8.4f} "
+                f"E/parties={c.energy_vs_parties:.3f} E/caladan={c.energy_vs_caladan:.3f}"
+            )

@@ -1,0 +1,27 @@
+"""Fig. 13 — node scaling (1 → 4 nodes)."""
+
+from repro.experiments.fig13_node_scaling import NODE_COUNTS, run_fig13
+
+
+def test_fig13_node_scaling(once, capsys):
+    cells = once(run_fig13)
+    sg = {c.n_nodes: c for c in cells if c.controller == "surgeguard"}
+
+    # 1. SurgeGuard beats both baselines on VV at every cluster size.
+    for n in NODE_COUNTS:
+        assert sg[n].vv_vs_parties < 1.0
+        assert sg[n].vv_vs_caladan < 1.0
+
+    # 2. The core/energy advantage does not evaporate as headroom grows
+    # (the paper sees it *increase*: −6.5 % → −16.4 % cores).
+    assert sg[max(NODE_COUNTS)].cores_vs_parties <= 1.02
+    assert sg[max(NODE_COUNTS)].energy_vs_parties <= 1.05
+
+    with capsys.disabled():
+        print("\n[Fig 13] node scaling (SurgeGuard, normalized to Parties)")
+        for n in NODE_COUNTS:
+            c = sg[n]
+            print(
+                f"  nodes={n}  VV={c.vv_vs_parties:8.4f} cores={c.cores_vs_parties:.3f} "
+                f"energy={c.energy_vs_parties:.3f}  |  vs caladan: VV={c.vv_vs_caladan:8.4f}"
+            )

@@ -1,0 +1,41 @@
+"""Fig. 14 — allocation timelines during a long surge (readUserTimeline)."""
+
+from repro.experiments.fig14_alloc_timeline import FOCUS_SERVICES, run_fig14
+
+
+def test_fig14_allocation_timeline(once, capsys):
+    results = once(run_fig14)
+    by = {r.controller: r for r in results}
+
+    uts = "user-timeline-service"
+    # 1. The baselines concentrate cores on the implicit-queue service:
+    # it grabs a larger share under Parties/Caladan than under SurgeGuard.
+    assert by["parties"].hoarder_peak_share > by["surgeguard"].hoarder_peak_share
+    assert by["caladan"].hoarder_peak_share > by["surgeguard"].hoarder_peak_share
+
+    # 2. The baselines starve the downstream storage tier relative to
+    # their own user-timeline allocation; SurgeGuard spreads more evenly.
+    def spread(r):
+        down = (
+            r.surge_avg_cores["post-storage-service"]
+            + r.surge_avg_cores["post-storage-memcached"]
+        )
+        return down / r.surge_avg_cores[uts]
+
+    assert spread(by["surgeguard"]) >= spread(by["parties"])
+    assert spread(by["surgeguard"]) >= spread(by["caladan"])
+
+    # 3. SurgeGuard wins the QoS outcome decisively.
+    assert by["surgeguard"].violation_volume < 0.2 * by["parties"].violation_volume
+
+    with capsys.disabled():
+        print("\n[Fig 14] surge allocation timelines (avg cores during surge)")
+        for r in results:
+            cols = "  ".join(
+                f"{s.split('-')[-2] if '-' in s else s}={r.surge_avg_cores[s]:.2f}"
+                for s in FOCUS_SERVICES
+            )
+            print(
+                f"  {r.controller:10s} {cols}  uts-peak-share={r.hoarder_peak_share * 100:.0f}% "
+                f"revocations={r.mid_surge_revocations} VV={r.violation_volume * 1e3:.2f}ms·s"
+            )

@@ -1,0 +1,47 @@
+"""Fig. 15 — per-mechanism breakdown of Escalator."""
+
+from repro.experiments.fig15_breakdown import run_fig15
+
+
+def test_fig15_escalator_breakdown(once, capsys):
+    cells = once(run_fig15)
+    get = lambda wl, arm: next(
+        c for c in cells if c.workload == wl and c.arm == arm
+    )
+
+    # 1. On the fixed-pool workload the new metrics help on their own
+    # (paper: −23.5 % VV on readUserTimeline).
+    rut_metrics = get("readUserTimeline", "+metrics")
+    assert rut_metrics.vv_vs_parties < 1.0
+
+    # 2. On the conn-per-request workload, metrics add nothing over the
+    # execTime view (execMetric == execTime there): the +metrics and
+    # full-escalator arms behave alike.
+    reco_metrics = get("recommendHotel", "+metrics")
+    reco_full = get("recommendHotel", "escalator")
+    assert reco_metrics.vv_vs_parties == (
+        __import__("pytest").approx(reco_full.vv_vs_parties, rel=0.5)
+    )
+
+    # 3. Sensitivity helps both workloads (paper: −28 % / −63 % VV).
+    for wl in ("readUserTimeline", "recommendHotel"):
+        assert get(wl, "+sensitivity").vv_vs_parties < 1.0
+
+    # 4. The complete Escalator is never worse than plain Parties and is
+    # competitive with the best single arm.
+    for wl in ("readUserTimeline", "recommendHotel"):
+        full = get(wl, "escalator")
+        assert full.vv_vs_parties < 1.0
+        best_single = min(
+            get(wl, "+metrics").vv_vs_parties,
+            get(wl, "+sensitivity").vv_vs_parties,
+        )
+        assert full.vv_vs_parties <= best_single * 3.0
+
+    with capsys.disabled():
+        print("\n[Fig 15] Escalator mechanism breakdown (VV & cores vs Parties)")
+        for c in cells:
+            print(
+                f"  {c.workload:17s} {c.arm:13s} VV={c.vv_vs_parties:8.4f} "
+                f"cores={c.cores_vs_parties:.3f}"
+            )

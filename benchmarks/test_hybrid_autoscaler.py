@@ -1,0 +1,54 @@
+"""§VII — SurgeGuard bridging a horizontal autoscaler's launch gap.
+
+Not a numbered figure: the paper's Discussion argues SurgeGuard should
+"benefit horizontal-scaling controllers, by managing QoS and preventing
+request buildup while the autoscaler launches a new container".  The
+bench quantifies that claim: an HPA-style scaler with a realistic
+launch delay, alone vs. paired with SurgeGuard, under the standard
+1.75× surge pattern.
+"""
+
+from repro.controllers.horizontal import (
+    HorizontalAutoscaler,
+    HpaParams,
+    HybridController,
+)
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale
+
+
+def _cfg(factory):
+    sc = current_scale()
+    return ExperimentConfig(
+        workload="readUserTimeline",
+        controller_factory=factory,
+        spike_magnitude=1.75,
+        spike_len=sc.spike_len,
+        spike_period=sc.spike_period,
+        spike_offset=sc.spike_offset,
+        duration=sc.duration,
+        warmup=sc.warmup,
+        profile_duration=sc.profile_duration,
+    )
+
+
+def test_hybrid_autoscaler_section7(once, capsys):
+    hpa = HpaParams(interval=1.0, launch_delay=3.0)
+
+    def run_both():
+        alone = run_experiment(_cfg(lambda: HorizontalAutoscaler(hpa)))
+        hybrid = run_experiment(_cfg(lambda: HybridController(hpa)))
+        return alone, hybrid
+
+    alone, hybrid = once(run_both)
+
+    # The launch gap costs the HPA dearly; the hybrid closes most of it.
+    assert hybrid.violation_volume < 0.5 * alone.violation_volume
+
+    with capsys.disabled():
+        print("\n[§VII] horizontal autoscaler ± SurgeGuard (launch delay 3s)")
+        for label, r in (("hpa alone", alone), ("hpa+surgeguard", hybrid)):
+            print(
+                f"  {label:15s} VV={r.violation_volume * 1e3:9.3f}ms·s "
+                f"p98={r.p98 * 1e3:7.2f}ms cores={r.avg_cores:.2f}"
+            )

@@ -1,0 +1,99 @@
+"""§VI-D — SurgeGuard overhead claims, plus engine micro-benchmarks."""
+
+import pytest
+
+from repro.experiments.overheads import run_overheads
+
+
+def test_overheads_section_6d(once, capsys):
+    r = once(run_overheads)
+
+    # Paper: 0.26 µs per packet on the RX path, 0.44 + 2.1 µs to apply a
+    # boost, controller CPU below 3 %, no steady-state impact.
+    assert r.hook_cost == pytest.approx(0.26e-6)
+    assert r.boost_latency == pytest.approx(2.54e-6)
+    assert r.packets_inspected > 0
+    assert r.controller_cpu_util < 0.03
+    assert abs(r.steady_state_impact) < 0.05
+
+    with capsys.disabled():
+        print("\n[§VI-D] overheads")
+        print(f"  hook cost          {r.hook_cost * 1e6:.2f}us/pkt (paper 0.26)")
+        print(f"  detect→boost       {r.boost_latency * 1e6:.2f}us (paper 0.44+2.1)")
+        print(f"  packets inspected  {r.packets_inspected}")
+        print(f"  controller CPU     {r.controller_cpu_util * 100:.2f}% (paper <3%)")
+        print(
+            f"  steady-state p98   {r.p98_with_fr * 1e3:.3f}ms vs "
+            f"{r.p98_without_fr * 1e3:.3f}ms ({r.steady_state_impact * 100:+.2f}%)"
+        )
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw simulator throughput — the substrate cost every experiment pays."""
+    from repro.sim.engine import Simulator
+
+    def run_10k_events():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run_10k_events)
+    assert fired == 10_000
+
+
+def test_container_ps_update_cost(benchmark):
+    """Cost of one PS advance/reschedule cycle with 50 concurrent jobs."""
+    from repro.cluster.container import Container
+    from repro.cluster.frequency import DvfsModel
+    from repro.sim.engine import Simulator
+
+    def run():
+        sim = Simulator()
+        c = Container(sim, "c", DvfsModel(), cores=4.0)
+        for _ in range(50):
+            c.submit(1e9, lambda: None)
+        # 200 allocation flips force 200 advance+reschedule rounds.
+        for i in range(200):
+            sim.schedule(i * 1e-4, c.set_cores, 4.0 + (i % 2))
+        sim.run(until=0.02)
+        return True
+
+    assert benchmark(run)
+
+
+def test_per_packet_hook_wallclock(benchmark):
+    """Wall-clock cost of the FirstResponder hook itself (the Python
+    analogue of the paper's 0.26 µs kernel measurement)."""
+    from repro.cluster.cluster import Cluster, ClusterConfig
+    from repro.cluster.packet import REQUEST, RpcPacket
+    from repro.controllers.targets import TargetConfig
+    from repro.core import SurgeGuardConfig
+    from repro.core.firstresponder import FirstResponder
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.services.registry import get_workload
+
+    sim = Simulator()
+    app = get_workload("chain").build()
+    cluster = Cluster(
+        sim, app, ClusterConfig(cores_per_node=16, placement="pack"), RngRegistry(0)
+    )
+    targets = TargetConfig(
+        expected_exec_metric={n: 1e-3 for n in app.service_names},
+        expected_exec_time={n: 1e-3 for n in app.service_names},
+        expected_time_from_start={n: 1e-3 for n in app.service_names},
+        qos_target=10e-3,
+    )
+    fr = FirstResponder(sim, cluster.node_views[0], SurgeGuardConfig(), targets)
+    pkt = RpcPacket(
+        request_id=0, kind=REQUEST, src="client", dst="chain1", start_time=0.0
+    )
+    benchmark(fr.on_packet, pkt)

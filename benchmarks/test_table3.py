@@ -1,0 +1,32 @@
+"""Table III — workload inventory with scaled operating points."""
+
+from repro.experiments.table3_workloads import run_table3
+
+
+def test_table3_workload_inventory(once, capsys):
+    rows = once(run_table3)
+    by_action = {r.action: r for r in rows}
+
+    # The paper's structural columns, verbatim.
+    assert by_action["-"].depth == 5 and by_action["-"].threadpool == "512"
+    assert by_action["ReadUserTimeline"].depth == 5
+    assert by_action["ComposePost"].depth == 8
+    assert by_action["searchHotel"].depth == 11
+    assert by_action["recommendHotel"].depth == 5
+    assert by_action["searchHotel"].rpc == "grpc"
+    assert by_action["searchHotel"].threadpool == "inf"
+    assert by_action["ReadUserTimeline"].rpc == "thrift"
+
+    # The harness-derived QoS targets are sane (single-digit-to-tens of
+    # milliseconds, above zero).
+    for r in rows:
+        assert 1e-3 < r.qos_target < 0.1
+
+    with capsys.disabled():
+        print("\n[Table III] workloads")
+        for r in rows:
+            print(
+                f"  {r.workload:16s} {r.action:16s} depth={r.depth:2d} "
+                f"{r.rpc:6s} pool={r.threadpool:4s} rate={r.base_rate:g}/s "
+                f"qos={r.qos_target * 1e3:.1f}ms"
+            )

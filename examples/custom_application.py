@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bring your own microservice application under SurgeGuard.
+
+The reproduction is a library, not just a benchmark harness: any task
+graph can be declared with :class:`ServiceSpec`/:class:`AppSpec`,
+deployed on a simulated cluster, and managed by any controller.  This
+example builds a small media-pipeline app (ingest → transcode ∥
+thumbnail → store) with a mix of threading models, drives it with a
+bursty Poisson workload, and compares controllers.
+
+It also shows the lower-level API: building the cluster by hand,
+attaching a controller manually, and reading per-container runtime
+metrics while the simulation runs.
+
+Run:  python examples/custom_application.py
+"""
+
+from repro import (
+    AppSpec,
+    ClusterConfig,
+    Cluster,
+    EdgeSpec,
+    ExperimentConfig,
+    NullController,
+    RngRegistry,
+    ServiceSpec,
+    Simulator,
+    SurgeGuardController,
+    WorkDist,
+)
+from repro.analysis.render import format_table
+from repro.experiments import run_experiment
+
+
+def media_pipeline() -> AppSpec:
+    """ingest → transcode ∥ thumbnail; transcode → store (fixed pool)."""
+    return AppSpec(
+        name="mediaPipeline",
+        action="upload",
+        services=(
+            ServiceSpec(
+                "ingest",
+                pre_work=WorkDist(0.6e6),
+                children=(EdgeSpec("transcode", None), EdgeSpec("thumbnail", None)),
+                fanout="parallel",
+                initial_cores=1.0,
+            ),
+            ServiceSpec(
+                "transcode",
+                pre_work=WorkDist(2.4e6, "lognormal", cv=0.4),  # heavy + variable
+                children=(EdgeSpec("store", 6),),  # Little's-law pool (Eq. 1)
+                initial_cores=2.5,
+            ),
+            ServiceSpec("thumbnail", pre_work=WorkDist(0.8e6), initial_cores=1.0),
+            ServiceSpec("store", pre_work=WorkDist(1.0e6), initial_cores=1.0),
+        ),
+        root="ingest",
+        qos_target=15e-3,
+    )
+
+
+def compare_controllers() -> None:
+    print("== controller comparison on the custom app ==")
+    rows = []
+    for label, factory in (
+        ("static", NullController),
+        ("surgeguard", SurgeGuardController),
+    ):
+        result = run_experiment(
+            ExperimentConfig(
+                workload="media",
+                app=media_pipeline(),
+                base_rate=1000.0,
+                controller_factory=factory,
+                spike_magnitude=2.0,
+                spike_len=1.5,
+                spike_period=5.0,
+                duration=10.0,
+                warmup=3.0,
+                cores_per_node=12.0,
+                pacing="poisson",  # bursty arrivals
+                seed=7,
+            )
+        )
+        rows.append(
+            (label, f"{result.violation_volume * 1e3:.2f}",
+             f"{result.p98 * 1e3:.2f}", f"{result.avg_cores:.2f}")
+        )
+    print(format_table(["controller", "VV (ms·s)", "p98 (ms)", "cores"], rows))
+
+
+def low_level_api() -> None:
+    """Drive the substrate directly and watch queueBuildup live."""
+    print("\n== low-level API: live queueBuildup during an overload ==")
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        media_pipeline(),
+        ClusterConfig(cores_per_node=12.0, placement="pack"),
+        RngRegistry(3),
+    )
+
+    # Give 'transcode' spare compute so the *store* tier is the true
+    # bottleneck — the overload then queues implicitly in transcode's
+    # connection pool, the §III-B scenario.
+    cluster.set_cores("transcode", 4.0)
+    from repro.workload import OpenLoopClient, RateSchedule
+
+    client = OpenLoopClient(sim, cluster, RateSchedule(2000.0), duration=2.0)
+    client.begin()
+
+    print(f"{'t':>5s}  " + "  ".join(f"{n:>10s}" for n in cluster.runtimes))
+    for step in range(1, 5):
+        sim.run(until=step * 0.5)
+        qbs = {n: rt.collect().queue_buildup for n, rt in cluster.runtimes.items()}
+        print(f"{sim.now:5.1f}  " + "  ".join(f"{qbs[n]:10.2f}" for n in qbs))
+    print(
+        "note: queueBuildup > 1 appears at 'transcode' (its pool to "
+        "'store' is the hidden queue), not at 'store' itself — exactly "
+        "the signal Escalator uses to upscale downstream."
+    )
+
+
+if __name__ == "__main__":
+    compare_controllers()
+    low_level_api()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Violation volume (Fig. 3): why tail latency alone misleads.
+
+The paper's C3 contribution is a metric that charges a QoS violation for
+both its *magnitude* and its *duration*.  This example constructs the
+exact Fig. 3 scenario — a short, tall latency spike (red) vs. a long,
+shallow bump (blue) — and shows that P98/max latency and violation
+volume rank them oppositely.  It runs in milliseconds (pure NumPy).
+
+Run:  python examples/violation_volume.py
+"""
+
+import numpy as np
+
+from repro.analysis.render import sparkline
+from repro.metrics import summarize, violation_volume
+
+QOS = 10e-3  # 10 ms end-to-end target
+
+
+def make_traces():
+    t = np.linspace(0.0, 20.0, 2000)
+    base = 4e-3 + 0.3e-3 * np.sin(t)  # healthy steady state
+    red = base.copy()
+    red[np.abs(t - 10.0) < 0.25] = 40e-3  # 0.5 s spike to 40 ms
+    blue = base.copy()
+    blue[np.abs(t - 10.0) < 4.0] = 14e-3  # 8 s bump to 14 ms
+    return t, red, blue
+
+
+def main() -> None:
+    t, red, blue = make_traces()
+    for name, lat in (("red (short, tall)", red), ("blue (long, shallow)", blue)):
+        s = summarize(t, lat, QOS)
+        print(f"{name:22s} max={s.max * 1e3:5.1f}ms  p98={s.p98 * 1e3:5.1f}ms  "
+              f"VV={s.violation_volume * 1e3:7.2f}ms·s  "
+              f"violating for {s.violation_duration:.2f}s")
+        print(f"{'':22s} {sparkline(lat[::25])}")
+
+    vv_red = violation_volume(t, red, QOS)
+    vv_blue = violation_volume(t, blue, QOS)
+    assert red.max() > blue.max() and vv_red < vv_blue
+    print(
+        "\nRed has the worse tail latency, blue the worse violation volume —"
+        "\nexactly Fig. 3: a controller optimized for tail latency alone"
+        "\nwould chase the wrong incident."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Result aggregation and presentation.
+
+Implements the artifact's analysis protocol: 17 data points per (spike
+pattern, controller) cell, drop the best and worst, average the
+remaining 15 (:func:`trimmed_mean` / :func:`run_cell`); plus the
+normalization used by Figs. 11–13 (everything relative to Parties) and
+small text renderers for terminal figures.
+"""
+
+from repro.analysis.aggregate import (
+    CellResult,
+    default_reps,
+    run_cell,
+    trimmed_mean,
+)
+from repro.analysis.normalize import normalize_cells
+from repro.analysis.render import bar_chart, format_table, sparkline
+
+__all__ = [
+    "CellResult",
+    "bar_chart",
+    "default_reps",
+    "format_table",
+    "normalize_cells",
+    "run_cell",
+    "sparkline",
+    "trimmed_mean",
+]

@@ -1,0 +1,59 @@
+"""Normalization helpers for the Figs. 11–13 presentation.
+
+The paper normalizes every metric to the Parties baseline ("All results
+are normalized to Parties", Fig. 11; Figs. 12–13 show separate panels
+normalized to Parties and to CaladanAlgo).  Values < 1 mean the subject
+controller improves on the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.analysis.aggregate import CellResult
+
+__all__ = ["NormalizedCell", "normalize_cells"]
+
+
+@dataclass(frozen=True)
+class NormalizedCell:
+    """One controller's metrics relative to a baseline controller."""
+
+    workload: str
+    controller: str
+    baseline: str
+    violation_volume: float
+    p98: float
+    avg_cores: float
+    energy: float
+
+
+def _ratio(num: float, den: float) -> float:
+    if den <= 0:
+        # A perfect baseline (zero VV) makes the ratio meaningless;
+        # surface it as infinity rather than hiding a division error.
+        return float("inf") if num > 0 else 1.0
+    return num / den
+
+
+def normalize_cells(
+    cells: Iterable[CellResult], baseline: CellResult
+) -> Dict[str, NormalizedCell]:
+    """Normalize each cell to ``baseline`` (same workload enforced)."""
+    out: Dict[str, NormalizedCell] = {}
+    for cell in cells:
+        if cell.workload != baseline.workload:
+            raise ValueError(
+                f"cannot normalize {cell.workload!r} against {baseline.workload!r}"
+            )
+        out[cell.controller] = NormalizedCell(
+            workload=cell.workload,
+            controller=cell.controller,
+            baseline=baseline.controller,
+            violation_volume=_ratio(cell.violation_volume, baseline.violation_volume),
+            p98=_ratio(cell.p98, baseline.p98),
+            avg_cores=_ratio(cell.avg_cores, baseline.avg_cores),
+            energy=_ratio(cell.energy, baseline.energy),
+        )
+    return out

@@ -1,0 +1,68 @@
+"""Plain-text rendering: tables, bars, sparklines.
+
+The artifact's analysis step is manual; these helpers make every bench
+target print the figure it regenerates directly in the terminal (and
+into ``bench_output.txt``), so paper-vs-measured comparison needs no
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "format_table", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, lo: float = None, hi: float = None) -> str:
+    """Unicode sparkline of a series (for latency timelines)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        return _SPARK[0] * arr.size
+    idx = np.clip(
+        ((arr - lo) / (hi - lo) * (len(_SPARK) - 1)).astype(int),
+        0,
+        len(_SPARK) - 1,
+    )
+    return "".join(_SPARK[i] for i in idx)
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], *, width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal text bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must match")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    peak = float(np.abs(arr).max()) or 1.0
+    wl = max(len(l) for l in labels)
+    lines: List[str] = []
+    for label, v in zip(labels, arr):
+        n = int(round(abs(v) / peak * width))
+        lines.append(f"{label.ljust(wl)} | {'█' * n} {v:.3g}{unit}")
+    return "\n".join(lines)

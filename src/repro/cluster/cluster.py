@@ -1,0 +1,304 @@
+"""Cluster assembly and the controller-facing API.
+
+:class:`Cluster` turns an :class:`~repro.services.taskgraph.AppSpec` into
+a running system: nodes with core budgets, one container + runtime +
+service instance per service, caller-side connection pools per edge, and
+a network with the client attached as an external endpoint.
+
+Controllers interact with the cluster in two ways:
+
+* **Global view** (used by the centralized-ish baselines Parties and
+  CaladanAlgo, which the paper runs per node but which in practice treat
+  containers independently anyway): :meth:`Cluster.set_cores`,
+  :meth:`Cluster.set_frequency`, :attr:`Cluster.runtimes`.
+* **Per-node local view** (:class:`NodeView`) — the *only* interface the
+  SurgeGuard implementation receives.  A NodeView exposes exactly what a
+  per-node daemon could know: the containers placed on that node, their
+  runtimes, the node's free cores, and the same-node downstream-map
+  derived from static task-graph knowledge shipped in the config file
+  (the artifact's ``controllers/sample_config``).  Tests assert that
+  SurgeGuard never touches remote containers through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.cluster.container import Container
+from repro.cluster.energy import EnergyModel
+from repro.cluster.frequency import DvfsModel
+from repro.cluster.invocation import ServiceInstance
+from repro.cluster.network import Network, NetworkConfig
+from repro.cluster.node import Node
+from repro.cluster.packet import REQUEST, RpcPacket
+from repro.cluster.placement import by_depth, pack_first, round_robin
+from repro.cluster.runtime import ContainerRuntime
+from repro.cluster.threadpool import ConnectionPool
+from repro.services.taskgraph import AppSpec
+
+__all__ = ["Cluster", "ClusterConfig", "NodeView"]
+
+CLIENT = "client"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static configuration of a simulated cluster."""
+
+    n_nodes: int = 1
+    #: Workload cores per node (the paper's 52; experiments here default
+    #: to smaller nodes with proportionally smaller request rates).
+    cores_per_node: float = 16.0
+    dvfs: DvfsModel = field(default_factory=DvfsModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: ``"pack"``, ``"round_robin"``, or ``"by_depth"`` (see placement module).
+    placement: str = "round_robin"
+    #: Initial per-container frequency; ``None`` = DVFS floor (paper: 1.6 GHz).
+    initial_frequency: Optional[float] = None
+    #: Connection-establishment latency for connection-per-request edges.
+    conn_setup_latency: float = 20e-6
+    #: Keep per-request traces in runtimes (figures/tests only).
+    trace_runtimes: bool = False
+    #: Record (t, container, value) allocation/frequency change events
+    #: (Fig. 14 timelines).
+    record_timelines: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.placement not in ("pack", "round_robin", "by_depth"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+
+
+class NodeView:
+    """The strictly-local view a per-node SurgeGuard daemon gets.
+
+    All mutation goes through the hosting node's budget checks; all
+    reads are limited to containers placed on this node.
+    """
+
+    def __init__(self, cluster: "Cluster", node: Node):
+        self._cluster = cluster
+        self.node = node
+
+    @property
+    def container_names(self) -> List[str]:
+        """Containers on this node."""
+        return list(self.node.containers)
+
+    @property
+    def free_cores(self) -> float:
+        """This node's unallocated cores."""
+        return self.node.free_cores
+
+    def container(self, name: str) -> Container:
+        """Local container lookup; raises ``KeyError`` for remote names."""
+        return self.node.containers[name]
+
+    def runtime(self, name: str) -> ContainerRuntime:
+        """Runtime of a local container; raises ``KeyError`` otherwise."""
+        if name not in self.node.containers:
+            raise KeyError(f"{name!r} is not on node {self.node.name!r}")
+        return self._cluster.runtimes[name]
+
+    def local_downstream(self, name: str) -> List[str]:
+        """Downstream containers of ``name`` that live on *this* node.
+
+        Task-graph adjacency is static configuration (shipped in the
+        artifact's config files), so knowing it does not violate
+        decentralization; the filter to same-node containers does the
+        rest.
+        """
+        return [
+            d
+            for d in self._cluster.app.downstream_of(name)
+            if d in self.node.containers
+        ]
+
+    def set_cores(self, name: str, cores: float) -> None:
+        """Adjust a *local* container's allocation (budget-checked)."""
+        if name not in self.node.containers:
+            raise KeyError(f"{name!r} is not on node {self.node.name!r}")
+        self._cluster.set_cores(name, cores)
+
+    def set_frequency(self, name: str, frequency: float) -> None:
+        """Adjust a *local* container's frequency."""
+        if name not in self.node.containers:
+            raise KeyError(f"{name!r} is not on node {self.node.name!r}")
+        self._cluster.set_frequency(name, frequency)
+
+    def add_rx_hook(self, hook: Callable[[RpcPacket], None], *, cost: float = 0.0) -> None:
+        """Attach a FirstResponder-style RX hook on this node."""
+        self.node.add_rx_hook(hook, cost=cost)
+
+
+class Cluster:
+    """A deployed application on a set of simulated nodes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    app:
+        Application specification.
+    config:
+        Cluster configuration.
+    rng:
+        RNG registry; streams ``work.<service>`` and ``network`` are used.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: AppSpec,
+        config: ClusterConfig,
+        rng: RngRegistry,
+    ):
+        self.sim = sim
+        self.app = app
+        self.config = config
+        self.rng = rng
+        self.energy_model = EnergyModel(config.dvfs)
+
+        self.nodes: List[Node] = [
+            Node(sim, f"node{i}", config.cores_per_node, config.dvfs)
+            for i in range(config.n_nodes)
+        ]
+        self.network = Network(sim, config.network, rng.stream("network"))
+
+        names = app.service_names
+        if config.placement == "pack":
+            placement = pack_first(names, config.n_nodes)
+        elif config.placement == "round_robin":
+            placement = round_robin(names, config.n_nodes)
+        else:
+            placement = by_depth(app.depths(), config.n_nodes)
+        self.placement: Dict[str, int] = placement
+
+        f0 = config.initial_frequency
+        self.containers: Dict[str, Container] = {}
+        self.runtimes: Dict[str, ContainerRuntime] = {}
+        self.instances: Dict[str, ServiceInstance] = {}
+
+        for spec in app.services:
+            node = self.nodes[placement[spec.name]]
+            container = Container(
+                sim, spec.name, config.dvfs, cores=spec.initial_cores, frequency=f0
+            )
+            node.add_container(container)
+            runtime = ContainerRuntime(sim, spec.name, trace=config.trace_runtimes)
+            pools = {
+                e.child: ConnectionPool(
+                    sim,
+                    e.pool_size,
+                    setup_latency=config.conn_setup_latency,
+                    name=f"{spec.name}->{e.child}",
+                )
+                for e in spec.children
+            }
+            instance = ServiceInstance(
+                sim, spec, container, runtime, self.network, pools,
+                rng.stream(f"work.{spec.name}"),
+            )
+            self.containers[spec.name] = container
+            self.runtimes[spec.name] = runtime
+            self.instances[spec.name] = instance
+            self.network.register(spec.name, node, instance.handle_packet)
+
+        self.network.register(CLIENT, None, self._client_rx)
+
+        #: Allocation / frequency change logs for timeline figures.
+        self.alloc_events: List[Tuple[float, str, float]] = []
+        self.freq_events: List[Tuple[float, str, float]] = []
+        if config.record_timelines:
+            for name, c in self.containers.items():
+                self.alloc_events.append((sim.now, name, c.cores))
+                self.freq_events.append((sim.now, name, c.frequency))
+
+        self._views = [NodeView(self, n) for n in self.nodes]
+        self._ingress_count = 0
+
+    # ----------------------------------------------------------------- views
+    @property
+    def node_views(self) -> List[NodeView]:
+        """One local view per node — SurgeGuard's only interface."""
+        return list(self._views)
+
+    def node_of(self, container_name: str) -> Node:
+        """The node hosting ``container_name``."""
+        return self.nodes[self.placement[container_name]]
+
+    # ------------------------------------------------------------- controller
+    def set_cores(self, name: str, cores: float) -> None:
+        """Set a container's core allocation (node budget enforced)."""
+        self.node_of(name).set_cores(name, cores)
+        if self.config.record_timelines:
+            self.alloc_events.append((self.sim.now, name, cores))
+
+    def set_frequency(self, name: str, frequency: float) -> None:
+        """Set a container's DVFS level."""
+        before = self.containers[name].frequency
+        self.containers[name].set_frequency(frequency)
+        after = self.containers[name].frequency
+        if self.config.record_timelines and after != before:
+            self.freq_events.append((self.sim.now, name, after))
+
+    # --------------------------------------------------------------- ingress
+    def client_send(
+        self,
+        request_id: int,
+        on_response: Callable[[RpcPacket], None],
+        *,
+        upscale: int = 0,
+    ) -> None:
+        """Inject one end-to-end request at the application root.
+
+        ``start_time`` is stamped now — the simulation equivalent of the
+        first container setting it, since the client→root hop is part of
+        the end-to-end budget either way.
+        """
+        pkt = RpcPacket(
+            request_id=request_id,
+            kind=REQUEST,
+            src=CLIENT,
+            dst=self.app.root,
+            start_time=self.sim.now,
+            upscale=upscale,
+        )
+        pkt.context = on_response
+        self._ingress_count += 1
+        self.network.send(pkt)
+
+    @staticmethod
+    def _client_rx(pkt: RpcPacket) -> None:
+        if pkt.context is None:  # pragma: no cover - wiring bug guard
+            raise RuntimeError("client response without completion context")
+        pkt.context(pkt)
+
+    # ------------------------------------------------------------ accounting
+    def sync_all(self) -> None:
+        """Flush all containers' lazy accounting up to the current time."""
+        for c in self.containers.values():
+            c.sync()
+
+    def total_energy(self) -> float:
+        """Idle-subtracted application energy in joules (syncs first)."""
+        self.sync_all()
+        return self.energy_model.total_energy(self.containers.values())
+
+    def average_cores(self, elapsed: float) -> float:
+        """Time-averaged total allocated cores over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        self.sync_all()
+        return sum(c.alloc_core_seconds for c in self.containers.values()) / elapsed
+
+    @property
+    def total_allocated(self) -> float:
+        """Instantaneous total allocated cores across all nodes."""
+        return sum(n.allocated for n in self.nodes)

@@ -1,0 +1,58 @@
+"""Energy accounting with idle subtraction (paper §V: ``perf`` minus idle).
+
+The paper measures application energy with ``perf`` and subtracts the
+machines' idle consumption, so what is compared across controllers is
+the *marginal* energy of running the workload.  The simulator mirrors
+that: a container's energy is
+
+    ``E = static_w · ∫ allocated_cores dt  +  dyn_w_at_fmax · ∫ busy · (f/f_max)³ dt``
+
+where both integrals are maintained incrementally by
+:class:`repro.cluster.container.Container` (``alloc_core_seconds`` and
+``busy_weighted_seconds``).  Unallocated cores contribute nothing —
+that is the idle subtraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.container import Container
+from repro.cluster.frequency import DvfsModel
+
+__all__ = ["EnergyModel"]
+
+
+class EnergyModel:
+    """Converts container accounting integrals into joules.
+
+    Parameters
+    ----------
+    dvfs:
+        Supplies the per-core power constants.  All nodes in an
+        experiment share one DVFS model, matching the homogeneous
+        testbed.
+    """
+
+    def __init__(self, dvfs: DvfsModel):
+        self.dvfs = dvfs
+
+    def container_energy(self, container: Container) -> float:
+        """Idle-subtracted energy (J) consumed by one container so far.
+
+        Callers must :meth:`~repro.cluster.container.Container.sync` the
+        container (the cluster does this) before reading.
+        """
+        static = self.dvfs.static_w * container.alloc_core_seconds
+        dynamic = self.dvfs.dyn_w_at_fmax * container.busy_weighted_seconds
+        return static + dynamic
+
+    def total_energy(self, containers: Iterable[Container]) -> float:
+        """Sum of :meth:`container_energy` over ``containers``."""
+        return sum(self.container_energy(c) for c in containers)
+
+    def average_power(self, containers: Iterable[Container], elapsed: float) -> float:
+        """Mean application power (W) over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return self.total_energy(containers) / elapsed

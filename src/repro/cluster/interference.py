@@ -1,0 +1,64 @@
+"""Interference injection — execution-time surges without load surges.
+
+The abstract scopes SurgeGuard to "surges in load and network latency,
+or other disruptions to steady-state behavior"; Caladan (one of the
+baselines) exists specifically for *interference* at microsecond
+timescales.  :class:`InterferenceInjector` produces that third surge
+type: for a time window, a container's effective execution speed drops
+by a factor (cache/memory-bandwidth contention from a co-located
+best-effort job), with no change to the incoming request rate.
+
+Controllers never see the factor — only its consequences in the
+latency metrics — so this doubles as a root-cause test: the slowdown
+originates *inside* one container, and a dependence-aware controller
+should direct resources there, not at the upstream services whose
+latency also balloons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.cluster import Cluster
+
+__all__ = ["InterferenceInjector", "InterferenceWindow"]
+
+
+@dataclass(frozen=True)
+class InterferenceWindow:
+    """One planned interference episode."""
+
+    container: str
+    start: float
+    end: float
+    #: Execution-speed multiplier during the window, in (0, 1).
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("empty interference window")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+
+
+class InterferenceInjector:
+    """Schedules interference windows on a cluster's containers."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.windows: List[InterferenceWindow] = []
+
+    def inject(
+        self, container: str, *, start: float, length: float, factor: float
+    ) -> InterferenceWindow:
+        """Slow ``container`` to ``factor`` speed during the window."""
+        if container not in self.cluster.containers:
+            raise KeyError(container)
+        window = InterferenceWindow(container, start, start + length, factor)
+        self.windows.append(window)
+        sim = self.cluster.sim
+        target = self.cluster.containers[container]
+        sim.schedule_at(start, target.set_speed_factor, factor)
+        sim.schedule_at(window.end, target.set_speed_factor, 1.0)
+        return window

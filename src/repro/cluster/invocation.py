@@ -1,0 +1,200 @@
+"""Request lifecycle at one service instance.
+
+This module is the glue between the task-graph spec and the execution
+substrate: a :class:`ServiceInstance` owns a container, the connection
+pools to its children, and a :class:`~repro.cluster.runtime.ContainerRuntime`,
+and drives each incoming request through the state machine
+
+    arrive → pre-work compute → [for each child: acquire connection →
+    downstream round trip → release] → post-work compute → reply
+
+The two details that carry the paper's Fig. 5 phenomenology:
+
+* compute phases run on the container (processor-shared, on-CPU); the
+  downstream round trip and the wait for a pooled connection do *not*
+  occupy a core (the thread is blocked — that is precisely why the
+  threadpool queue is invisible to per-container CPU metrics);
+* connection-wait time is accumulated per request and reported to the
+  runtime, which derives ``execMetric``/``queueBuildup`` from it.
+
+Fan-out: ``sequential`` sums the per-child waits (the same thread blocks
+for each in turn); ``parallel`` takes the maximum (waits overlap in wall
+time), keeping ``execMetric = execTime − wait`` non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.cluster.container import Container
+from repro.cluster.network import Network
+from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
+from repro.cluster.runtime import ContainerRuntime
+from repro.cluster.threadpool import ConnectionPool
+from repro.services.taskgraph import SEQUENTIAL, ServiceSpec
+
+__all__ = ["ServiceInstance"]
+
+
+class _Invocation:
+    """Per-request state at one service instance."""
+
+    __slots__ = (
+        "pkt",
+        "t_arrive",
+        "upscale_in",
+        "conn_wait",
+        "par_waits",
+        "child_idx",
+        "pending",
+    )
+
+    def __init__(self, pkt: RpcPacket, t_arrive: float):
+        self.pkt = pkt
+        self.t_arrive = t_arrive
+        self.upscale_in = pkt.upscale
+        self.conn_wait = 0.0  # sequential accumulation
+        self.par_waits: List[float] = []  # parallel per-branch waits
+        self.child_idx = 0
+        self.pending = 0
+
+
+class ServiceInstance:
+    """One deployed service: container + pools + runtime + state machine.
+
+    Parameters
+    ----------
+    sim, spec, container, runtime, network:
+        Wired by :class:`repro.cluster.cluster.Cluster`.
+    pools:
+        Connection pool per child name (one per outgoing edge).
+    rng:
+        Stream for per-request work draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ServiceSpec,
+        container: Container,
+        runtime: ContainerRuntime,
+        network: Network,
+        pools: Dict[str, ConnectionPool],
+        rng: np.random.Generator,
+    ):
+        missing = {e.child for e in spec.children} - set(pools)
+        if missing:
+            raise ValueError(f"{spec.name!r}: missing pools for {sorted(missing)}")
+        self.sim = sim
+        self.spec = spec
+        self.container = container
+        self.runtime = runtime
+        self.network = network
+        self.pools = pools
+        self.rng = rng
+        self.requests_started = 0
+        self.requests_completed = 0
+
+    # --------------------------------------------------------------- ingress
+    def handle_packet(self, pkt: RpcPacket) -> None:
+        """Network endpoint handler for this service's container."""
+        if pkt.kind == RESPONSE:
+            # Resume the waiting caller-side continuation.
+            if pkt.context is None:  # pragma: no cover - wiring bug guard
+                raise RuntimeError(f"response without context at {self.spec.name!r}")
+            pkt.context(pkt)
+            return
+        if pkt.kind != REQUEST:  # pragma: no cover - wiring bug guard
+            raise RuntimeError(f"unknown packet kind {pkt.kind!r}")
+        self._on_request(pkt)
+
+    def _on_request(self, pkt: RpcPacket) -> None:
+        self.requests_started += 1
+        now = self.sim.now
+        self.runtime.on_arrival(now - pkt.start_time, pkt.upscale)
+        inv = _Invocation(pkt, now)
+        work = self.spec.pre_work.sample(self.rng)
+        if work > 0.0:
+            self.container.submit(work, lambda: self._after_pre(inv))
+        else:
+            self._after_pre(inv)
+
+    # ------------------------------------------------------------- children
+    def _after_pre(self, inv: _Invocation) -> None:
+        children = self.spec.children
+        if not children:
+            self._after_children(inv)
+            return
+        if self.spec.fanout == SEQUENTIAL:
+            self._start_sequential_child(inv)
+        else:
+            inv.pending = len(children)
+            for i in range(len(children)):
+                self._start_parallel_child(inv, i)
+
+    def _outgoing_ttl(self, inv: _Invocation) -> int:
+        return self.runtime.outgoing_upscale(inv.upscale_in)
+
+    def _start_sequential_child(self, inv: _Invocation) -> None:
+        edge = self.spec.children[inv.child_idx]
+        pool = self.pools[edge.child]
+
+        def granted(wait: float) -> None:
+            inv.conn_wait += wait
+            out = inv.pkt.fork_downstream(
+                dst=edge.child,
+                src=self.spec.name,
+                upscale=self._outgoing_ttl(inv),
+            )
+            out.context = lambda resp: self._sequential_child_done(inv, pool)
+            self.network.send(out)
+
+        pool.acquire(granted)
+
+    def _sequential_child_done(self, inv: _Invocation, pool: ConnectionPool) -> None:
+        pool.release()
+        inv.child_idx += 1
+        if inv.child_idx < len(self.spec.children):
+            self._start_sequential_child(inv)
+        else:
+            self._after_children(inv)
+
+    def _start_parallel_child(self, inv: _Invocation, idx: int) -> None:
+        edge = self.spec.children[idx]
+        pool = self.pools[edge.child]
+
+        def granted(wait: float) -> None:
+            inv.par_waits.append(wait)
+            out = inv.pkt.fork_downstream(
+                dst=edge.child,
+                src=self.spec.name,
+                upscale=self._outgoing_ttl(inv),
+            )
+            out.context = lambda resp: self._parallel_child_done(inv, pool)
+            self.network.send(out)
+
+        pool.acquire(granted)
+
+    def _parallel_child_done(self, inv: _Invocation, pool: ConnectionPool) -> None:
+        pool.release()
+        inv.pending -= 1
+        if inv.pending == 0:
+            inv.conn_wait += max(inv.par_waits, default=0.0)
+            self._after_children(inv)
+
+    # --------------------------------------------------------------- egress
+    def _after_children(self, inv: _Invocation) -> None:
+        work = self.spec.post_work.sample(self.rng)
+        if work > 0.0:
+            self.container.submit(work, lambda: self._finish(inv))
+        else:
+            self._finish(inv)
+
+    def _finish(self, inv: _Invocation) -> None:
+        self.requests_completed += 1
+        exec_time = self.sim.now - inv.t_arrive
+        self.runtime.on_complete(exec_time, inv.conn_wait)
+        self.network.send(inv.pkt.make_response(src=self.spec.name))

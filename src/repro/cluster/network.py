@@ -1,0 +1,154 @@
+"""RPC fabric: packet routing, latency, and injectable latency surges.
+
+Every packet between endpoints (containers or the external client) takes
+one network hop with a configurable base latency — small for same-node
+(bridge/loopback) traffic, larger for cross-node traffic — plus optional
+lognormal-ish jitter.  On arrival at a *server* node the packet first
+passes through the node's RX hooks (FirstResponder's attachment point,
+see :mod:`repro.cluster.node`), whose modeled per-packet cost is added to
+the delivery latency, and is then handed to the destination endpoint.
+
+The abstract says SurgeGuard guards QoS "during surges in load and
+network latency"; :meth:`Network.add_latency_surge` injects the latter —
+an additive delay applied to packets sent inside a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.cluster.node import Node
+from repro.cluster.packet import RpcPacket
+
+__all__ = ["Network", "NetworkConfig"]
+
+Endpoint = Callable[[RpcPacket], None]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency parameters of the simulated fabric.
+
+    Defaults approximate a ToR-switched datacenter rack: ~20 µs
+    kernel-stack RTT share per one-way cross-node hop, ~6 µs for
+    same-node container-to-container traffic, and client traffic treated
+    as cross-node (the paper's client is a separate machine).
+    """
+
+    intra_node_latency: float = 6e-6
+    inter_node_latency: float = 20e-6
+    #: Relative jitter: one-way latency is multiplied by ``1 + U(0, jitter)``.
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.intra_node_latency < 0 or self.inter_node_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+
+@dataclass
+class _LatencySurge:
+    start: float
+    end: float
+    extra: float
+
+
+class Network:
+    """Routes :class:`RpcPacket` objects between registered endpoints.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    config:
+        Latency parameters.
+    rng:
+        Generator for jitter draws (pass a dedicated stream).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        self._endpoints: Dict[str, Tuple[Optional[Node], Endpoint]] = {}
+        self._surges: List[_LatencySurge] = []
+        self._observers: List[Endpoint] = []
+        self.packets_sent = 0
+        self.packets_delivered = 0
+
+    def add_observer(self, fn: Endpoint) -> None:
+        """Register a read-only tap invoked on *every* delivery —
+        including to external endpoints, which node RX hooks never see.
+        Zero modeled cost: observers are measurement, not mechanism."""
+        self._observers.append(fn)
+
+    # ------------------------------------------------------------- registry
+    def register(self, name: str, node: Optional[Node], handler: Endpoint) -> None:
+        """Register an endpoint.  ``node=None`` marks an external endpoint
+        (the client machine — no RX hooks run for packets it receives)."""
+        if name in self._endpoints:
+            raise ValueError(f"duplicate endpoint {name!r}")
+        self._endpoints[name] = (node, handler)
+
+    def endpoint_node(self, name: str) -> Optional[Node]:
+        """The node hosting ``name`` (``None`` for external endpoints)."""
+        return self._endpoints[name][0]
+
+    # -------------------------------------------------------------- surges
+    def add_latency_surge(self, start: float, end: float, extra: float) -> None:
+        """Add ``extra`` seconds to every packet sent in ``[start, end)``."""
+        if end <= start or extra < 0:
+            raise ValueError("invalid latency surge window")
+        self._surges.append(_LatencySurge(start, end, extra))
+
+    def _surge_extra(self, t: float) -> float:
+        return sum(s.extra for s in self._surges if s.start <= t < s.end)
+
+    # ------------------------------------------------------------- delivery
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency for a packet sent *now* from ``src`` to ``dst``."""
+        src_node = self._endpoints[src][0]
+        dst_node = self._endpoints[dst][0]
+        if src_node is not None and src_node is dst_node:
+            base = self.config.intra_node_latency
+        else:
+            base = self.config.inter_node_latency
+        if self.rng is not None and self.config.jitter > 0:
+            base *= 1.0 + float(self.rng.random()) * self.config.jitter
+        base += self._surge_extra(self.sim.now)
+        if dst_node is not None:
+            base += dst_node.rx_overhead
+        return base
+
+    def send(self, packet: RpcPacket) -> None:
+        """Send ``packet``; it is delivered after the modeled latency.
+
+        Delivery runs the destination node's RX hooks (if any) and then
+        the endpoint handler.
+        """
+        if packet.dst not in self._endpoints:
+            raise KeyError(f"unknown destination endpoint {packet.dst!r}")
+        if packet.src not in self._endpoints:
+            raise KeyError(f"unknown source endpoint {packet.src!r}")
+        packet.send_time = self.sim.now
+        self.packets_sent += 1
+        self.sim.schedule(self.latency(packet.src, packet.dst), self._deliver, packet)
+
+    def _deliver(self, packet: RpcPacket) -> None:
+        node, handler = self._endpoints[packet.dst]
+        self.packets_delivered += 1
+        for obs in self._observers:
+            obs(packet)
+        if node is not None:
+            node.on_packet(packet)
+        handler(packet)

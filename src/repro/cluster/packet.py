@@ -1,0 +1,83 @@
+"""RPC packets and the SurgeGuard metadata fields (paper Fig. 8).
+
+Every inter-container message in the simulation is an :class:`RpcPacket`.
+Two fields implement the paper's protocol extension:
+
+* ``start_time`` — the timestamp at which the end-to-end job entered the
+  application.  Set by the *first* container and propagated unchanged by
+  every subsequent hop.  FirstResponder uses it for per-packet progress
+  tracking (Eq. 4–5).
+* ``upscale`` — a decentralized upscaling hint.  A container whose
+  ``queueBuildup`` exceeds its threshold stamps outgoing *request*
+  packets with a positive TTL; each downstream container propagates the
+  hint decremented by one, bounding how far down the task graph a single
+  upstream violation reaches (Table II, §IV "Metadata Fields").
+
+Packets also carry plumbing for the simulation itself (routing ids and a
+reference to the in-flight call record); controllers never read those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["RpcPacket", "REQUEST", "RESPONSE"]
+
+REQUEST = "request"
+RESPONSE = "response"
+
+
+@dataclass(slots=True)
+class RpcPacket:
+    """A single RPC message travelling between two containers.
+
+    Parameters mirror the wire format sketched in Fig. 8 of the paper:
+    the application payload (not modeled), plus the two SurgeGuard
+    metadata fields.
+    """
+
+    #: End-to-end request id (unique per user request).
+    request_id: int
+    #: ``REQUEST`` or ``RESPONSE``.
+    kind: str
+    #: Name of the sending container ("client" for ingress packets).
+    src: str
+    #: Name of the destination container (or "client" for the final reply).
+    dst: str
+    #: SurgeGuard metadata: job start timestamp (seconds). Propagated unchanged.
+    start_time: float
+    #: SurgeGuard metadata: downstream-upscale hint TTL (hops). 0 = no hint.
+    upscale: int = 0
+    #: Simulated send timestamp; filled in by the network.
+    send_time: float = 0.0
+    #: Opaque reference used by the invocation machinery to resume a caller.
+    context: Optional[Any] = field(default=None, repr=False)
+
+    def fork_downstream(self, dst: str, src: str, upscale: int) -> "RpcPacket":
+        """Build the request packet for the next hop of the same job.
+
+        ``start_time`` propagates unchanged; the ``upscale`` TTL is supplied
+        by the caller (the container runtime applies the decrement/stamping
+        rules — see :meth:`repro.cluster.runtime.ContainerRuntime.outgoing_upscale`).
+        """
+        return RpcPacket(
+            request_id=self.request_id,
+            kind=REQUEST,
+            src=src,
+            dst=dst,
+            start_time=self.start_time,
+            upscale=upscale,
+        )
+
+    def make_response(self, src: str) -> "RpcPacket":
+        """Build the response packet back to this packet's sender."""
+        return RpcPacket(
+            request_id=self.request_id,
+            kind=RESPONSE,
+            src=src,
+            dst=self.src,
+            start_time=self.start_time,
+            upscale=0,
+            context=self.context,
+        )

@@ -1,0 +1,163 @@
+"""Request-flow tracing: per-request span logs.
+
+A distributed-tracing facility for the simulated cluster, in the shape
+downstream users expect (Jaeger/Zipkin-like spans).  It taps the
+network's delivery path as a zero-cost observer (unlike FirstResponder's
+RX hook it also sees packets bound for the external client, which close
+root spans), producing one span tree per request:
+
+* span per (request, container) visit with receive/complete timestamps,
+* critical-path extraction (which service chain dominated latency),
+* no interference with controllers (hooks are read-only, zero modeled
+  cost by default).
+
+This is how the Fig. 14-style "where did the time go" questions get
+answered for arbitrary apps; the social-network example uses the
+aggregate metrics instead, but tests and users can go per-request here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
+
+__all__ = ["RequestTracer", "Span"]
+
+
+@dataclass
+class Span:
+    """One container visit of one request."""
+
+    request_id: int
+    container: str
+    #: Packet-arrival timestamp at the container's node.
+    t_receive: float
+    #: Timestamp of the response leaving (None while open).
+    t_complete: Optional[float] = None
+    #: Caller container ("client" at the root).
+    parent: str = ""
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.t_complete is None:
+            return None
+        return self.t_complete - self.t_receive
+
+
+class RequestTracer:
+    """Collects span trees by observing a cluster's RX paths.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to observe.  Hooks are installed immediately on
+        every node (cost 0 — tracing must not perturb the experiment).
+    max_requests:
+        Stop recording new requests beyond this many (memory guard);
+        ``None`` = unbounded.
+    """
+
+    def __init__(self, cluster: Cluster, *, max_requests: Optional[int] = None):
+        self.cluster = cluster
+        self.max_requests = max_requests
+        #: request_id -> container -> list of spans (re-entries possible
+        #: for fan-in topologies).
+        self._spans: Dict[int, Dict[str, List[Span]]] = {}
+        # Network observer (not a node hook): responses to the external
+        # client close the root span, and those never cross a node's RX
+        # path.
+        cluster.network.add_observer(self._on_packet)
+
+    # ----------------------------------------------------------------- hooks
+    def _on_packet(self, pkt: RpcPacket) -> None:
+        if pkt.kind == REQUEST:
+            if (
+                self.max_requests is not None
+                and pkt.request_id not in self._spans
+                and len(self._spans) >= self.max_requests
+            ):
+                return
+            per_req = self._spans.setdefault(pkt.request_id, {})
+            per_req.setdefault(pkt.dst, []).append(
+                Span(
+                    request_id=pkt.request_id,
+                    container=pkt.dst,
+                    t_receive=self.cluster.sim.now,
+                    parent=pkt.src,
+                )
+            )
+        elif pkt.kind == RESPONSE:
+            per_req = self._spans.get(pkt.request_id)
+            if per_req is None:
+                return
+            spans = per_req.get(pkt.src)
+            if spans:
+                # Close the most recent open span of the responder.
+                for span in reversed(spans):
+                    if span.t_complete is None:
+                        span.t_complete = self.cluster.sim.now
+                        break
+
+    # --------------------------------------------------------------- queries
+    def spans(self, request_id: int) -> List[Span]:
+        """All spans of one request, ordered by receive time."""
+        per_req = self._spans.get(request_id, {})
+        out = [s for spans in per_req.values() for s in spans]
+        return sorted(out, key=lambda s: s.t_receive)
+
+    @property
+    def traced_requests(self) -> int:
+        return len(self._spans)
+
+    def critical_path(self, request_id: int) -> List[Tuple[str, float]]:
+        """(container, self-time) pairs along the longest child chain.
+
+        Self-time of a span = its duration minus its directly-nested
+        children's durations (clipped at zero for overlapping parallel
+        fan-out, where "self time" is ill-defined).
+        """
+        spans = [s for s in self.spans(request_id) if s.duration is not None]
+        if not spans:
+            return []
+        children: Dict[str, List[Span]] = {}
+        for s in spans:
+            children.setdefault(s.parent, []).append(s)
+
+        def walk(container: str) -> Tuple[float, List[Tuple[str, float]]]:
+            own = next(
+                (s for s in spans if s.container == container), None
+            )
+            if own is None or own.duration is None:
+                return 0.0, []
+            kid_paths = [walk(k.container) for k in children.get(container, [])]
+            kids_total = sum(
+                k.duration or 0.0 for k in children.get(container, [])
+            )
+            self_time = max(own.duration - kids_total, 0.0)
+            if not kid_paths:
+                return own.duration, [(container, self_time)]
+            best_len, best_path = max(kid_paths, key=lambda p: p[0])
+            return own.duration, [(container, self_time)] + best_path
+
+        roots = children.get("client", [])
+        if not roots:
+            return []
+        _, path = walk(roots[0].container)
+        return path
+
+    def summary_by_container(self) -> Dict[str, Tuple[int, float]]:
+        """(visit count, mean span duration) per container, all requests."""
+        acc: Dict[str, Tuple[int, float]] = {}
+        for per_req in self._spans.values():
+            for name, spans in per_req.items():
+                for s in spans:
+                    if s.duration is None:
+                        continue
+                    n, total = acc.get(name, (0, 0.0))
+                    acc[name] = (n + 1, total + s.duration)
+        return {
+            name: (n, total / n) for name, (n, total) in acc.items() if n > 0
+        }

@@ -1,0 +1,46 @@
+"""Resource controllers: baselines and the controller interface.
+
+The paper evaluates three controllers (§V "Controllers Evaluated"):
+
+* **Parties** — the heuristic per-container FSM of Chen et al.
+  (ASPLOS'19), reimplemented per the authors' open-source code;
+* **CaladanAlgo** — the Caladan core-allocation algorithm (Fried et
+  al., OSDI'20) ported to a userspace controller, using the paper's
+  ``queueBuildup`` metric in place of network-queue visibility;
+* **SurgeGuard** — the contribution, in :mod:`repro.core`.
+
+This package holds the first two plus the shared interface, the
+do-nothing :class:`NullController` (static allocation), and the
+clairvoyant :class:`OracleController` used for the Fig. 4
+detection-delay study.
+"""
+
+from repro.controllers.base import Controller, ControllerStats
+from repro.controllers.targets import TargetConfig
+from repro.controllers.null import NullController
+from repro.controllers.oracle import OracleController
+from repro.controllers.parties import PartiesController, PartiesParams
+from repro.controllers.caladan import CaladanController, CaladanParams
+from repro.controllers.ml_central import CentralizedMLController, MLParams
+from repro.controllers.horizontal import (
+    HorizontalAutoscaler,
+    HpaParams,
+    HybridController,
+)
+
+__all__ = [
+    "CaladanController",
+    "CaladanParams",
+    "CentralizedMLController",
+    "Controller",
+    "ControllerStats",
+    "HorizontalAutoscaler",
+    "HpaParams",
+    "HybridController",
+    "MLParams",
+    "NullController",
+    "OracleController",
+    "PartiesController",
+    "PartiesParams",
+    "TargetConfig",
+]

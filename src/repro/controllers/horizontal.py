@@ -1,0 +1,164 @@
+"""Horizontal autoscaling interaction (§VII "Interaction with
+Autoscaling Algorithms").
+
+The paper argues SurgeGuard complements horizontal autoscalers: scaling
+out takes seconds (spin up a container, warm it, re-balance), and
+SurgeGuard "manag[es] QoS and prevent[s] request buildup while the
+autoscaler launches a new container".
+
+:class:`HorizontalAutoscaler` models a Kubernetes-HPA-style scaler on
+the simulated cluster.  Scale-out of a service is modeled as a
+*capacity* grant — its replica's worth of cores arrives after a launch
+delay — which preserves the autoscaler-relevant dynamics (utilization
+trigger, actuation lag, replica granularity) without changing the
+routing substrate.  It reads only utilization (busy/allocated cores),
+like the real HPA's CPU metric, so it can run *concurrently* with
+SurgeGuard: the two never contend for the runtime metric windows.
+
+The hybrid is assembled by :class:`HybridController`, which owns both
+and is what the §VII bench exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.controllers.base import Controller
+from repro.core.config import SurgeGuardConfig
+from repro.core.surgeguard import SurgeGuardController
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["HorizontalAutoscaler", "HpaParams", "HybridController"]
+
+
+@dataclass(frozen=True)
+class HpaParams:
+    """Kubernetes-HPA-flavoured tunables."""
+
+    #: Evaluation period (HPA default: 15 s; scaled down with the rest
+    #: of the experiments).
+    interval: float = 2.0
+    #: Scale out when utilization (busy / allocated) exceeds this.
+    target_utilization: float = 0.7
+    #: Capacity added per scale-out ("one replica"), in cores.
+    replica_cores: float = 1.0
+    #: Container launch + warm-up delay before the capacity lands.
+    launch_delay: float = 3.0
+    #: Scale-in when utilization stays below this.
+    scale_in_utilization: float = 0.35
+    #: Consecutive low-utilization periods before scale-in.
+    scale_in_patience: int = 3
+    min_cores: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.launch_delay < 0:
+            raise ValueError("invalid timing parameters")
+        if not 0 < self.scale_in_utilization < self.target_utilization < 1:
+            raise ValueError("need 0 < scale_in < target < 1")
+
+
+class HorizontalAutoscaler(Controller):
+    """Utilization-triggered scale-out with launch latency."""
+
+    name = "hpa"
+
+    def __init__(self, params: Optional[HpaParams] = None):
+        super().__init__()
+        self.params = params or HpaParams()
+        self._proc: Optional[PeriodicProcess] = None
+        self._last_busy: Dict[str, float] = {}
+        self._low_streak: Dict[str, int] = {}
+        #: Scale-outs currently in flight (service -> count).
+        self._launching: Dict[str, int] = {}
+        self.scale_outs = 0
+        self.scale_ins = 0
+
+    def _on_start(self) -> None:
+        assert self.sim is not None and self.cluster is not None
+        self._last_busy = {
+            n: c.busy_core_seconds for n, c in self.cluster.containers.items()
+        }
+        self._low_streak = {n: 0 for n in self.cluster.containers}
+        self._proc = PeriodicProcess(self.sim, self.params.interval, self._decide)
+
+    def _on_stop(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+
+    # ------------------------------------------------------------- decision
+    def _utilization(self, name: str) -> float:
+        assert self.cluster is not None
+        c = self.cluster.containers[name]
+        c.sync()
+        busy = c.busy_core_seconds
+        du = (busy - self._last_busy[name]) / self.params.interval
+        self._last_busy[name] = busy
+        return du / c.cores if c.cores > 0 else 0.0
+
+    def _decide(self) -> None:
+        assert self.cluster is not None and self.sim is not None
+        self.stats.decision_cycles += 1
+        p = self.params
+        for name in list(self.cluster.containers):
+            util = self._utilization(name)
+            if util > p.target_utilization:
+                self._low_streak[name] = 0
+                self._launching[name] = self._launching.get(name, 0) + 1
+                self.sim.schedule(p.launch_delay, self._land_replica, name)
+            elif util < p.scale_in_utilization and not self._launching.get(name):
+                self._low_streak[name] += 1
+                if self._low_streak[name] >= p.scale_in_patience:
+                    self._low_streak[name] = 0
+                    if self._step_cores_down(name, p.replica_cores, p.min_cores):
+                        self.scale_ins += 1
+            else:
+                self._low_streak[name] = 0
+
+    def _land_replica(self, name: str) -> None:
+        """The launched container becomes ready: capacity lands."""
+        assert self.cluster is not None
+        self._launching[name] = max(self._launching.get(name, 1) - 1, 0)
+        if self._step_cores_up(name, self.params.replica_cores):
+            self.scale_outs += 1
+
+
+class HybridController(Controller):
+    """§VII hybrid: horizontal autoscaler + SurgeGuard side by side.
+
+    The autoscaler owns capacity trends (utilization-driven, slow); the
+    SurgeGuard units bridge the actuation gap (per-packet fast path +
+    metric-window slow path).  They share nothing but the cluster.
+    """
+
+    name = "hpa+surgeguard"
+
+    def __init__(
+        self,
+        hpa_params: Optional[HpaParams] = None,
+        sg_config: Optional[SurgeGuardConfig] = None,
+    ):
+        super().__init__()
+        self.hpa = HorizontalAutoscaler(hpa_params)
+        self.surgeguard = SurgeGuardController(sg_config)
+
+    def _on_attach(self) -> None:
+        assert self.sim is not None and self.cluster is not None
+        assert self.targets is not None
+        self.hpa.attach(self.sim, self.cluster, self.targets)
+        self.surgeguard.attach(self.sim, self.cluster, self.targets)
+        # Aggregate both units' action counts into this controller's stats.
+        self.hpa.stats = self.stats
+        self.surgeguard.stats = self.stats
+        for esc in self.surgeguard.escalators:
+            esc.stats = self.stats
+        for fr in self.surgeguard.firstresponders:
+            fr.stats = self.stats
+
+    def _on_start(self) -> None:
+        self.hpa.start()
+        self.surgeguard.start()
+
+    def _on_stop(self) -> None:
+        self.hpa.stop()
+        self.surgeguard.stop()

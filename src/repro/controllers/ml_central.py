@@ -1,0 +1,123 @@
+"""A centralized ML-style controller (the Table I "ML" row).
+
+The paper does not evaluate Sinan/Sage directly — it cites their
+properties: *dependence-aware* (they learn inter-container dynamics and
+identify root causes correctly), *centralized* (container metrics are
+shipped to an inference server, decisions shipped back), and *slow*
+(decision granularity >1 s even when inference itself takes tens of
+milliseconds, §I/§III-A).
+
+:class:`CentralizedMLController` models exactly that trade-off so the
+detection-delay story (Fig. 4) and Table I can include the ML point:
+
+* every ``interval`` (default 1 s) it *snapshots* all containers'
+  windows — paying a metric-collection delay — then applies a
+  root-cause-correct allocation after an additional inference delay;
+* root-cause analysis is "oracle-quality" (it reuses SurgeGuard's own
+  queueBuildup/execMetric scoring, globally, plus global downstream
+  knowledge), so the only thing wrong with it is *when* it acts.
+
+This is intentionally generous to the ML approach: anything it loses,
+it loses to latency alone — which is the paper's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.controllers.base import Controller
+from repro.core.config import SurgeGuardConfig
+from repro.core.scoring import score_container
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["CentralizedMLController", "MLParams"]
+
+
+@dataclass(frozen=True)
+class MLParams:
+    """Latency model of the centralized ML pipeline."""
+
+    #: Decision granularity (Table I: >1 s for Sinan/Sage).
+    interval: float = 1.0
+    #: Metric collection (container → inference server) latency.
+    collection_delay: float = 0.05
+    #: Inference + decision distribution latency (paper: "tens to
+    #: hundreds of milliseconds" for inference alone).
+    inference_delay: float = 0.15
+    core_step: float = 1.0
+    min_cores: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.collection_delay < 0 or self.inference_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+
+class CentralizedMLController(Controller):
+    """Root-cause-correct but slow and centralized."""
+
+    name = "ml-central"
+
+    def __init__(self, params: Optional[MLParams] = None):
+        super().__init__()
+        self.params = params or MLParams()
+        # Reuse SurgeGuard's scoring thresholds for the "learned" model.
+        self._score_cfg = SurgeGuardConfig()
+        self._proc: Optional[PeriodicProcess] = None
+
+    def _on_start(self) -> None:
+        assert self.sim is not None
+        self._proc = PeriodicProcess(self.sim, self.params.interval, self._cycle)
+
+    def _on_stop(self) -> None:
+        if self._proc is not None:
+            self._proc.stop()
+
+    # ----------------------------------------------------------- decision
+    def _cycle(self) -> None:
+        """Kick off one collect → infer → apply round."""
+        assert self.sim is not None
+        self.sim.schedule(self.params.collection_delay, self._collect)
+
+    def _collect(self) -> None:
+        assert self.cluster is not None and self.sim is not None
+        windows = {n: rt.collect() for n, rt in self.cluster.runtimes.items()}
+        self.sim.schedule(self.params.inference_delay, self._apply, windows)
+
+    def _apply(self, windows) -> None:
+        assert self.cluster is not None and self.targets is not None
+        self.stats.decision_cycles += 1
+        p = self.params
+        scores: Dict[str, int] = {n: 0 for n in windows}
+        for n, w in windows.items():
+            cs = score_container(
+                n,
+                w,
+                self.targets.expected_exec_metric[n],
+                self.targets.expected_exec_time[n],
+                self._score_cfg,
+            )
+            scores[n] += cs.self_score
+            if cs.marks_downstream:
+                # Centralized = global task-graph knowledge: score *all*
+                # downstream containers, on any node.
+                for d in self.cluster.app.downstream_of(n):
+                    scores[d] += 1
+        candidates: List[str] = sorted(
+            (n for n in scores if scores[n] > 0),
+            key=lambda n: scores[n],
+            reverse=True,
+        )
+        for n in candidates:
+            if not self._step_cores_up(n, p.core_step):
+                self._step_freq_up(n)
+        # Reclaim from clearly-idle containers (generous, Escalator-like).
+        for n, w in windows.items():
+            if scores[n] == 0 and w.count > 0:
+                target = self.targets.expected_exec_metric[n]
+                if w.avg_exec_metric < 0.4 * target and w.queue_buildup < 1.05:
+                    c = self.cluster.containers[n]
+                    if c.frequency > c.dvfs.f_min:
+                        self._step_freq_down(n)

@@ -1,0 +1,100 @@
+"""Clairvoyant controller for the Fig. 4 detection-delay study.
+
+Fig. 4 compares "an ideal controller that, on detecting a surge,
+allocates the exact amount of cores needed to overcome it (instead of
+increasing allocations step-by-step as in real controllers)" under
+different *detection delays* (0.2 ms / 0.5 s / 1 s).  The oracle knows
+the surge schedule and the per-service demand model, so the only
+variable is the delay — isolating detection latency's contribution to
+violation volume and to the extra cores needed to drain the queue.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.controllers.base import Controller
+from repro.workload.arrivals import RateSchedule
+
+__all__ = ["OracleController"]
+
+
+class OracleController(Controller):
+    """Allocates exact surge demand after a fixed detection delay.
+
+    Parameters
+    ----------
+    schedule:
+        The (known) rate schedule driving the experiment.
+    detection_delay:
+        Seconds between a rate change and the oracle reacting to it.
+    headroom:
+        Demand multiplier; >1 leaves capacity to drain the queue that
+        built up during the detection delay.  The *extra cores needed*
+        output of Fig. 4 is the smallest headroom that clears the
+        backlog before the surge ends, found by the experiment driver.
+    target_util:
+        Utilization the allocation aims for at the scheduled rate.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        schedule: RateSchedule,
+        *,
+        detection_delay: float,
+        headroom: float = 1.0,
+        target_util: float = 0.7,
+        granularity: float = 0.5,
+    ):
+        super().__init__()
+        if detection_delay < 0:
+            raise ValueError("detection_delay must be non-negative")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self.schedule = schedule
+        self.detection_delay = detection_delay
+        self.headroom = headroom
+        self.target_util = target_util
+        self.granularity = granularity
+
+    # ---------------------------------------------------------------- sizing
+    def _cores_for_rate(self, service: str, rate: float) -> float:
+        assert self.cluster is not None
+        spec = self.cluster.app.service(service)
+        f = self.cluster.config.dvfs.f_min
+        cycles = spec.pre_work.mean_cycles + spec.post_work.mean_cycles
+        demand = rate * cycles / f
+        g = self.granularity
+        return max(g, math.ceil(demand / self.target_util / g) * g)
+
+    def _apply_rate(self, rate: float, boost: float) -> None:
+        assert self.cluster is not None
+        self.stats.decision_cycles += 1
+        for name in self.cluster.app.service_names:
+            want = self._cores_for_rate(name, rate) * boost
+            g = self.granularity
+            want = math.ceil(want / g) * g
+            node = self.cluster.node_of(name)
+            have = self.cluster.containers[name].cores
+            want = min(want, have + node.free_cores)
+            if want != have:
+                self.cluster.set_cores(name, want)
+                if want > have:
+                    self.stats.upscale_core_actions += 1
+                else:
+                    self.stats.downscale_core_actions += 1
+
+    # -------------------------------------------------------------- lifecycle
+    def _on_start(self) -> None:
+        assert self.sim is not None
+        # React to every rate boundary, delayed by the detection latency.
+        for spike in self.schedule.spikes:
+            delay_on = max(spike.start - self.sim.now, 0.0) + self.detection_delay
+            self.sim.schedule(delay_on, self._apply_rate, spike.rate, self.headroom)
+            delay_off = max(spike.end - self.sim.now, 0.0) + self.detection_delay
+            self.sim.schedule(
+                delay_off, self._apply_rate, self.schedule.base_rate, 1.0
+            )

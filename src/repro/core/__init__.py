@@ -1,0 +1,41 @@
+"""SurgeGuard — the paper's contribution (§III–§IV).
+
+Two complementary units per node, both strictly node-local:
+
+* :class:`~repro.core.firstresponder.FirstResponder` — the fast path.
+  A per-node RX hook computes per-packet slack
+  (``expectedTimeFromStart − observedTimeFromStart``) and, on negative
+  slack, immediately boosts the frequency of the destination container
+  and its same-node downstream containers, then freezes that path for a
+  hold window (~2× the end-to-end latency).
+* :class:`~repro.core.escalator.Escalator` — the slow path.  Every
+  decision cycle it scores each local container against the three
+  Table II conditions (incoming ``pkt.upscale`` hint, ``queueBuildup``
+  over threshold, ``execMetric`` over threshold), upscales candidates
+  in (score, core-sensitivity) priority order one core at a time, and
+  downscales score-zero containers — including the sensitivity-based
+  revocation that frees cores from flat-curve hoarders (Fig. 6 right).
+
+:class:`~repro.core.surgeguard.SurgeGuardController` assembles one
+Escalator + one FirstResponder per node from the cluster's
+:class:`~repro.cluster.cluster.NodeView` objects — the controller never
+receives a global handle, making the decentralization claim structural.
+"""
+
+from repro.core.config import SurgeGuardConfig
+from repro.core.sensitivity import SensitivityTracker
+from repro.core.scoring import UPSCALE_RULES, ContainerScore, score_container
+from repro.core.escalator import Escalator
+from repro.core.firstresponder import FirstResponder
+from repro.core.surgeguard import SurgeGuardController
+
+__all__ = [
+    "ContainerScore",
+    "Escalator",
+    "FirstResponder",
+    "SensitivityTracker",
+    "SurgeGuardConfig",
+    "SurgeGuardController",
+    "UPSCALE_RULES",
+    "score_container",
+]

@@ -1,0 +1,147 @@
+"""Online resource-sensitivity profiling (Design Feature #3, §III-C).
+
+The paper keeps, per container, an exponential running average of the
+observed execution metric at every core allocation it has been observed
+under::
+
+    execAvg[container][#cores] = α · execAvg[container][#cores]
+                                + (1 − α) · newObservedTime[container]
+
+(The paper's formula weights the *old* value by α with α = 0.5 and calls
+this "weighting newer execution times quite heavily"; at α = 0.5 the two
+readings are identical, and we follow the formula as written.)
+
+Sensitivity is the fractional latency reduction from one more core::
+
+    sens[container][#cores] = 1 − execAvg[container][#cores + 1]
+                                / execAvg[container][#cores]
+
+used in two places: *preferential upscaling* (among equal-score
+candidates, feed the most core-sensitive first) and *revocation* (take a
+core back when ``sens[container][#cores − 1] < 0.02`` — the allocation's
+last core isn't pulling its weight, Fig. 6 right).
+
+Core counts are fractional (0.5 granularity), so the matrix is indexed
+by half-core buckets; "one more core" means one :attr:`step` up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["SensitivityTracker"]
+
+
+class SensitivityTracker:
+    """The execAvg matrix plus derived sensitivities for one node.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA weight on the previous average (paper: 0.5).
+    step:
+        Core quantum the matrix is indexed by (0.5 = hyperthread).
+    max_cores:
+        Largest representable allocation (the node's core budget).
+    optimistic_sens:
+        Sensitivity assumed for (container, cores) pairs never observed —
+        optimistic so unexplored allocations get tried (exploration),
+        but below 1.0 so known-high-sensitivity containers still win.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.5,
+        step: float = 0.5,
+        max_cores: float = 64.0,
+        optimistic_sens: float = 0.5,
+    ):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if step <= 0 or max_cores <= 0:
+            raise ValueError("step and max_cores must be positive")
+        self.alpha = alpha
+        self.step = step
+        self.n_buckets = int(round(max_cores / step)) + 2
+        self.optimistic_sens = optimistic_sens
+        self._exec_avg: Dict[str, np.ndarray] = {}
+        self.updates = 0
+
+    # ------------------------------------------------------------- indexing
+    def _bucket(self, cores: float) -> int:
+        idx = int(round(cores / self.step))
+        if idx < 0 or idx >= self.n_buckets:
+            raise ValueError(f"allocation {cores} outside tracked range")
+        return idx
+
+    def _row(self, container: str) -> np.ndarray:
+        row = self._exec_avg.get(container)
+        if row is None:
+            row = np.full(self.n_buckets, np.nan)
+            self._exec_avg[container] = row
+        return row
+
+    # -------------------------------------------------------------- updates
+    def observe(self, container: str, cores: float, exec_metric: float) -> None:
+        """Fold one window's observed execMetric at the given allocation."""
+        if exec_metric <= 0:
+            return  # empty/degenerate window carries no information
+        row = self._row(container)
+        b = self._bucket(cores)
+        if math.isnan(row[b]):
+            row[b] = exec_metric
+        else:
+            row[b] = self.alpha * row[b] + (1.0 - self.alpha) * exec_metric
+        self.updates += 1
+
+    def exec_avg(self, container: str, cores: float) -> Optional[float]:
+        """Stored average execMetric at ``cores``; ``None`` if unobserved."""
+        row = self._exec_avg.get(container)
+        if row is None:
+            return None
+        v = row[self._bucket(cores)]
+        return None if math.isnan(v) else float(v)
+
+    # --------------------------------------------------------- sensitivities
+    def sensitivity(self, container: str, cores: float) -> Optional[float]:
+        """``sens[container][cores]`` — benefit of one more :attr:`step`.
+
+        Returns ``None`` when either side of the ratio is unobserved.
+        Values are clipped to [0, 1]: an apparent slowdown from an extra
+        core (measurement noise / load drift) reads as zero benefit.
+        """
+        here = self.exec_avg(container, cores)
+        up_bucket = self._bucket(cores) + 1
+        if up_bucket >= self.n_buckets:
+            return 0.0
+        row = self._exec_avg.get(container)
+        if row is None or here is None or math.isnan(row[up_bucket]) or here <= 0:
+            return None
+        return float(np.clip(1.0 - row[up_bucket] / here, 0.0, 1.0))
+
+    def upscale_priority(self, container: str, cores: float) -> float:
+        """Sensitivity used for candidate ordering (optimistic default)."""
+        s = self.sensitivity(container, cores)
+        return self.optimistic_sens if s is None else s
+
+    def should_revoke(self, container: str, cores: float, threshold: float) -> bool:
+        """True when the last :attr:`step` of the allocation is near-useless.
+
+        Implements the paper's revocation test
+        ``sens[container][#cores − 1] < threshold``; unknown sensitivity
+        never triggers revocation (we only take back cores we have
+        *evidence* are idle — conservative by design).
+        """
+        if cores <= self.step:
+            return False
+        s = self.sensitivity(container, cores - self.step)
+        return s is not None and s < threshold
+
+    def known_allocations(self, container: str) -> int:
+        """Number of distinct allocations observed for ``container``."""
+        row = self._exec_avg.get(container)
+        return 0 if row is None else int(np.sum(~np.isnan(row)))

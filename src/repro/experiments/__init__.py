@@ -1,0 +1,31 @@
+"""Experiment harness and per-figure drivers.
+
+:mod:`repro.experiments.harness` implements the artifact's run protocol:
+
+1. **Profile** at low load with static allocations (1–2 minutes on the
+   testbed; a scaled window here) and set per-container targets to 2×
+   the measured averages plus the end-to-end QoS limit.
+2. **Run** the measured experiment: warm-up, then a spike schedule over
+   the measurement window, with the controller under test active.
+3. **Report** violation volume, P98, average cores, and energy over the
+   measurement window.
+
+Each ``fig*.py`` / ``table*.py`` module regenerates one table or figure
+of the paper (see the experiment index in DESIGN.md) and returns plain
+data structures; the ``benchmarks/`` suite calls them and prints the
+paper-shaped rows.
+"""
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    profile_targets,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "profile_targets",
+    "run_experiment",
+]

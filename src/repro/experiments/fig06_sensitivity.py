@@ -1,0 +1,137 @@
+"""Fig. 6 — sensitivity curves (execution time vs. allocated cores).
+
+The paper plots, for two socialNetwork services, the execution-time
+curve against core count: one service's latency keeps improving with
+cores (upscale it!), the other's flattens early (cores 4→7 buy nothing,
+yet a threshold-based controller lets it hog them).
+
+The driver measures the curves directly: for each candidate service and
+each static allocation it runs a short fixed-load window and records the
+mean ``execMetric``.  The output is also the ground truth the
+sensitivity-tracker tests compare SurgeGuard's online ``execAvg``
+estimates against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.scale import current_scale
+from repro.services.registry import get_workload
+
+__all__ = ["SensitivityCurve", "run_fig06"]
+
+#: The Fig. 6 subjects (socialNetwork ReadUserTimeline services).
+SERVICES = ("post-storage-service", "user-timeline-service")
+
+
+@dataclass(frozen=True)
+class SensitivityCurve:
+    """Measured execMetric (seconds) per static core allocation."""
+
+    service: str
+    cores: Tuple[float, ...]
+    exec_metric: Tuple[float, ...]
+
+    def sensitivity(self) -> Tuple[float, ...]:
+        """Per-step fractional improvement (the paper's ``sens`` values)."""
+        out = []
+        for a, b in zip(self.exec_metric, self.exec_metric[1:]):
+            out.append(1.0 - b / a if a > 0 else 0.0)
+        return tuple(out)
+
+
+def _with_cores(app, service: str, cores: float):
+    new_services = tuple(
+        dataclasses.replace(s, initial_cores=cores) if s.name == service else s
+        for s in app.services
+    )
+    return dataclasses.replace(app, services=new_services)
+
+
+def run_fig06(
+    core_points: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0),
+    *,
+    workload: str = "readUserTimeline",
+    services: Sequence[str] = SERVICES,
+) -> List[SensitivityCurve]:
+    """Measure the sensitivity curve of each service under fixed load."""
+    sc = current_scale()
+    profile = get_workload(workload)
+    base_app = profile.build()
+    curves: List[SensitivityCurve] = []
+    for service in services:
+        metrics: List[float] = []
+        for cores in core_points:
+            app = _with_cores(base_app, service, cores)
+            cfg = ExperimentConfig(
+                workload=f"fig06-{service}-{cores}",
+                app=app,
+                base_rate=profile.base_rate,
+                spike_magnitude=None,
+                duration=3.0,
+                warmup=1.5,
+                cores_per_node=24.0,
+                profile_duration=sc.profile_duration,
+            )
+            metrics.append(_measured_exec_metric(cfg, service))
+        curves.append(
+            SensitivityCurve(
+                service=service,
+                cores=tuple(core_points),
+                exec_metric=tuple(metrics),
+            )
+        )
+    return curves
+
+
+def _measured_exec_metric(cfg: ExperimentConfig, service: str) -> float:
+    """Run the cluster directly and read the service's mean execMetric."""
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.cluster.cluster import Cluster, ClusterConfig
+    from repro.workload.arrivals import RateSchedule
+    from repro.workload.generator import OpenLoopClient
+
+    sim = Simulator()
+    rng = RngRegistry(cfg.seed)
+    cluster = Cluster(
+        sim,
+        cfg.resolved_app(),
+        ClusterConfig(cores_per_node=cfg.cores_per_node or 24.0, placement="pack"),
+        rng,
+    )
+    client = OpenLoopClient(
+        sim, cluster, RateSchedule(cfg.resolved_rate()), duration=cfg.duration
+    )
+    client.begin()
+    sim.run(until=cfg.duration + 1.0)
+    runtime = cluster.runtimes[service]
+    if runtime.total_count == 0:
+        raise RuntimeError(f"{service!r} saw no traffic")
+    return runtime.total_exec_metric / runtime.total_count
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.analysis.render import format_table
+
+    curves = run_fig06()
+    for curve in curves:
+        print(f"\n{curve.service}:")
+        sens = ("-",) + tuple(f"{s:.3f}" for s in curve.sensitivity())
+        print(
+            format_table(
+                ["cores", "execMetric (ms)", "sens vs prev"],
+                [
+                    (c, f"{m * 1e3:.3f}", s)
+                    for c, m, s in zip(curve.cores, curve.exec_metric, sens)
+                ],
+            )
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,146 @@
+"""Fig. 10 — FirstResponder absorbs very short surges (CHAIN).
+
+The paper injects 100 µs and 2 ms surges whose *instantaneous* rate is
+20× the base rate into CHAIN and compares Escalator-only against the
+complete SurgeGuard (Escalator + FirstResponder):
+
+* 100 µs surges are invisible to any averaging controller — Escalator
+  alone eats a large latency excursion, FirstResponder's per-packet
+  slack detection boosts frequency within the surge itself (−98 % VV);
+* at 2 ms the averaged window starts to see the surge, Escalator begins
+  to help, and FirstResponder's relative benefit shrinks (−88 % VV) —
+  the head-start argument of §VI-A.
+
+Surges repeat periodically through the measurement window so the VV
+signal accumulates over many surge instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale
+
+__all__ = ["Fig10Row", "run_fig10", "SURGE_LENGTHS"]
+
+#: The two surge durations of Fig. 10 (seconds).
+SURGE_LENGTHS = (100e-6, 2e-3)
+
+#: Surge magnitude per duration.  The paper runs both at 20× the base
+#: rate; at its multi-krps testbed rates a 100 µs surge still delivers
+#: tens of extra requests.  At the scaled base rate (1.8 krps) 20× for
+#: 100 µs is ~4 requests — a non-event — so the 100 µs magnitude is
+#: raised to deliver the same *burst work* (~70 extra requests) as the
+#: 2 ms × 20× surge, preserving what the figure actually studies: a
+#: sub-window burst invisible to averaging controllers.
+SURGE_MAGS = {100e-6: 400.0, 2e-3: 20.0}
+
+#: Surge repetition period within the measurement window.
+SURGE_PERIOD = 0.5
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """One (surge length, controller) cell plus its latency timeline."""
+
+    surge_len: float
+    controller: str
+    violation_volume: float
+    p98: float
+    peak_latency: float
+    #: (arrival time, latency) samples for timeline rendering.
+    trace: np.ndarray
+
+
+def _config(surge_len: float, factory) -> ExperimentConfig:
+    sc = current_scale()
+    return ExperimentConfig(
+        workload="chain",
+        controller_factory=factory,
+        spike_magnitude=SURGE_MAGS.get(surge_len, 20.0),
+        spike_len=surge_len,
+        spike_period=SURGE_PERIOD,
+        spike_offset=0.25,
+        duration=4.0,
+        warmup=sc.warmup,
+        profile_duration=sc.profile_duration,
+    )
+
+
+def run_fig10(
+    surge_lengths: Sequence[float] = SURGE_LENGTHS,
+) -> List[Fig10Row]:
+    """Regenerate Fig. 10: Escalator-only vs. full SurgeGuard."""
+    rows: List[Fig10Row] = []
+    for surge_len in surge_lengths:
+        for label, factory in (
+            (
+                "escalator",
+                lambda: SurgeGuardController(SurgeGuardConfig(firstresponder=False)),
+            ),
+            ("surgeguard", SurgeGuardController),
+        ):
+            res = run_experiment(_config(surge_len, factory))
+            rows.append(
+                Fig10Row(
+                    surge_len=surge_len,
+                    controller=label,
+                    violation_volume=res.violation_volume,
+                    p98=res.p98,
+                    peak_latency=res.summary.max,
+                    trace=res.latency_trace,
+                )
+            )
+    return rows
+
+
+def vv_reduction(rows: Sequence[Fig10Row], surge_len: float) -> float:
+    """FirstResponder's VV reduction for one surge length (0..1)."""
+    esc = next(
+        r for r in rows if r.surge_len == surge_len and r.controller == "escalator"
+    )
+    full = next(
+        r for r in rows if r.surge_len == surge_len and r.controller == "surgeguard"
+    )
+    if esc.violation_volume <= 0:
+        return 0.0
+    return 1.0 - full.violation_volume / esc.violation_volume
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.analysis.render import format_table, sparkline
+
+    rows = run_fig10()
+    print(
+        format_table(
+            ["surge", "controller", "VV (ms·s)", "p98 (ms)", "peak (ms)"],
+            [
+                (
+                    f"{r.surge_len * 1e6:g}us",
+                    r.controller,
+                    f"{r.violation_volume * 1e3:.3f}",
+                    f"{r.p98 * 1e3:.2f}",
+                    f"{r.peak_latency * 1e3:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    for surge_len in SURGE_LENGTHS:
+        print(
+            f"FR VV reduction @ {surge_len * 1e6:g}us: "
+            f"{vv_reduction(rows, surge_len) * 100:.1f}%"
+        )
+    for r in rows:
+        if r.trace.size:
+            print(f"{r.surge_len * 1e6:>6g}us {r.controller:>10s}: "
+                  f"{sparkline(r.trace[::max(1, len(r.trace) // 100), 1])}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,137 @@
+"""Fig. 15 — per-mechanism breakdown of Escalator.
+
+Four arms on two workloads (fixed-pool ``readUserTimeline`` vs.
+connection-per-request ``recommendHotel``), all using the Parties
+allocation skeleton:
+
+1. **parties** — the plain baseline controller;
+2. **+metrics** — Escalator with the new execMetric/queueBuildup
+   candidate selection but *no* sensitivity machinery;
+3. **+sensitivity** — Escalator with sensitivity priorities/revocation
+   but the baselines' raw-execTime candidate test;
+4. **escalator** — both mechanisms (the complete slow path; the fast
+   path stays off, as in the paper's breakdown).
+
+Paper shape: the new metrics help only the fixed-pool workload
+(−23.5 % VV on readUserTimeline, ≈0 on recommendHotel — with unlimited
+pools ``execMetric == execTime``); sensitivity helps both (−28 % /
+−63 % VV and −5 % / −8 % cores); combining them compounds.
+
+For a like-for-like comparison every Escalator arm runs at Parties'
+500 ms decision interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.aggregate import CellResult, run_cell
+from repro.controllers.parties import PartiesController
+from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.scale import current_scale
+
+__all__ = ["Fig15Cell", "run_fig15", "ARMS", "WORKLOADS_F15"]
+
+WORKLOADS_F15 = ("readUserTimeline", "recommendHotel")
+SURGE_MAG = 1.75
+
+#: Escalator decision interval used for the ablation (Parties parity).
+_ABLATION_INTERVAL = 0.5
+
+
+def _arm(new_metrics: bool, sensitivity: bool) -> Callable:
+    def factory() -> SurgeGuardController:
+        return SurgeGuardController(
+            SurgeGuardConfig(
+                firstresponder=False,
+                use_new_metrics=new_metrics,
+                use_sensitivity=sensitivity,
+                escalator_interval=_ABLATION_INTERVAL,
+            )
+        )
+
+    return factory
+
+
+ARMS: Tuple[Tuple[str, Callable], ...] = (
+    ("parties", PartiesController),
+    ("+metrics", _arm(new_metrics=True, sensitivity=False)),
+    ("+sensitivity", _arm(new_metrics=False, sensitivity=True)),
+    ("escalator", _arm(new_metrics=True, sensitivity=True)),
+)
+
+
+@dataclass(frozen=True)
+class Fig15Cell:
+    workload: str
+    arm: str
+    raw: CellResult
+    vv_vs_parties: float
+    cores_vs_parties: float
+
+
+def run_fig15(workloads: Sequence[str] = WORKLOADS_F15) -> List[Fig15Cell]:
+    """Regenerate Fig. 15: the four arms on both workloads."""
+    sc = current_scale()
+    out: List[Fig15Cell] = []
+    for workload in workloads:
+        cfg = ExperimentConfig(
+            workload=workload,
+            spike_magnitude=SURGE_MAG,
+            spike_len=sc.spike_len,
+            spike_period=sc.spike_period,
+            spike_offset=sc.spike_offset,
+            duration=sc.duration,
+            warmup=sc.warmup,
+            profile_duration=sc.profile_duration,
+        )
+        cells: Dict[str, CellResult] = {}
+        for arm, factory in ARMS:
+            cells[arm] = run_cell(
+                dataclasses.replace(cfg, controller_factory=factory)
+            )
+        base = cells["parties"]
+        for arm, c in cells.items():
+            out.append(
+                Fig15Cell(
+                    workload=workload,
+                    arm=arm,
+                    raw=c,
+                    vv_vs_parties=(
+                        c.violation_volume / base.violation_volume
+                        if base.violation_volume > 0
+                        else float("inf")
+                    ),
+                    cores_vs_parties=(
+                        c.avg_cores / base.avg_cores if base.avg_cores > 0 else 1.0
+                    ),
+                )
+            )
+    return out
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.analysis.render import format_table
+
+    cells = run_fig15()
+    print(
+        format_table(
+            ["workload", "arm", "VV/parties", "cores/parties"],
+            [
+                (
+                    c.workload,
+                    c.arm,
+                    f"{c.vv_vs_parties:.3f}",
+                    f"{c.cores_vs_parties:.3f}",
+                )
+                for c in cells
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

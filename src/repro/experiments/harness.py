@@ -1,0 +1,349 @@
+"""Profiling + measured-run harness (the artifact's execution recipe).
+
+The paper's §V protocol, scaled:
+
+* the workload generator warms the system up, then measures;
+* spikes are injected on a fixed period during measurement;
+* per-container targets come from a separate low-load profiling pass
+  (2× measured averages — §IV "SurgeGuard Parameters");
+* the end-to-end QoS limit (wrk2 ``-qos``) is set relative to the
+  profiled low-load end-to-end latency;
+* reported: violation volume, P98, average cores and energy over the
+  measurement window only.
+
+Profiling runs in its own simulation with a :class:`NullController` so
+the controller under test never sees profiling traffic — and profiling
+results are memoized per (workload, topology) since they are
+controller-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.controllers.base import Controller, ControllerStats
+from repro.controllers.null import NullController
+from repro.controllers.targets import TargetConfig
+from repro.metrics.summary import LatencySummary, summarize
+from repro.services.registry import get_workload, node_budget
+from repro.services.taskgraph import AppSpec
+from repro.workload.arrivals import RateSchedule
+from repro.workload.generator import OpenLoopClient
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "profile_targets",
+    "run_experiment",
+    "clear_profile_cache",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell: workload × spike pattern × controller."""
+
+    #: Registry key ("chain", "readUserTimeline", ...).
+    workload: str
+    #: Builds a *fresh* controller per run.
+    controller_factory: Callable[[], Controller] = NullController
+    #: Custom application (Fig. 4/5 micro-topologies); overrides
+    #: ``workload`` lookup when set, in which case ``base_rate`` is
+    #: required.
+    app: Optional[AppSpec] = None
+    #: Base request rate; ``None`` = the registry's scaled default.
+    base_rate: Optional[float] = None
+    #: Surge magnitude as a multiple of base rate (``None`` = no spikes).
+    spike_magnitude: Optional[float] = 1.75
+    #: Surge duration (paper §VI-B default: 2 s; scaled default 1 s).
+    spike_len: float = 1.0
+    #: Surge period (paper: every 10 s; scaled default 5 s).
+    spike_period: float = 5.0
+    #: First surge starts this long into the measurement window.
+    spike_offset: float = 1.0
+    #: Measurement window length (after warmup).
+    duration: float = 10.0
+    #: Warmup length (controller active, no spikes, not measured).
+    warmup: float = 3.0
+    n_nodes: int = 1
+    #: Per-node workload cores; ``None`` = paper-style budget from the
+    #: initial allocation (≈ initial / 0.65).
+    cores_per_node: Optional[float] = None
+    placement: str = "round_robin"
+    seed: int = 1
+    #: QoS limit = this × profiled low-load mean end-to-end latency.
+    qos_multiplier: float = 2.5
+    #: Per-container targets = this × profiled averages (paper: 2).
+    target_multiplier: float = 2.0
+    #: Per-packet progress target (expectedTimeFromStart) multiplier —
+    #: looser than the window-average targets (see TargetConfig).
+    tfs_multiplier: float = 4.0
+    #: Low-load profiling pass length (simulated seconds).
+    profile_duration: float = 3.0
+    #: Profiling rate as a fraction of base rate ("low load").
+    profile_rate_frac: float = 0.25
+    pacing: str = "uniform"
+    #: Record allocation/frequency timelines (Fig. 14).
+    record_timelines: bool = False
+    #: Keep per-request traces in runtimes (slow; figures only).
+    trace_runtimes: bool = False
+    #: Extra simulated time after injection stops, to drain in-flight
+    #: requests before reading final metrics.
+    drain: float = 2.0
+
+    def resolved_rate(self) -> float:
+        if self.base_rate is not None:
+            return self.base_rate
+        if self.app is not None:
+            raise ValueError("custom app experiments must set base_rate")
+        return get_workload(self.workload).base_rate
+
+    def resolved_app(self) -> AppSpec:
+        if self.app is not None:
+            return self.app
+        return get_workload(self.workload).build()
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run reports."""
+
+    config: ExperimentConfig
+    controller_name: str
+    targets: TargetConfig
+    #: Latency summary over requests *arriving* in the measurement window.
+    summary: LatencySummary
+    #: Time-averaged allocated cores over the measurement window.
+    avg_cores: float
+    #: Idle-subtracted energy (J) over the measurement window.
+    energy: float
+    controller_stats: ControllerStats
+    #: (arrival_time, latency) of measured completed requests.
+    latency_trace: np.ndarray
+    #: Allocation change events (t, container, cores) when recorded.
+    alloc_events: List[Tuple[float, str, float]] = field(default_factory=list)
+    #: Frequency change events (t, container, Hz) when recorded.
+    freq_events: List[Tuple[float, str, float]] = field(default_factory=list)
+    outstanding: int = 0
+    #: FirstResponder packet inspections (SurgeGuard runs only).
+    fast_path_packets: int = 0
+    #: FirstResponder slack violations detected (SurgeGuard runs only).
+    fast_path_violations: int = 0
+
+    @property
+    def violation_volume(self) -> float:
+        return self.summary.violation_volume
+
+    @property
+    def p98(self) -> float:
+        return self.summary.p98
+
+
+# --------------------------------------------------------------------------
+# Profiling
+# --------------------------------------------------------------------------
+
+_PROFILE_CACHE: Dict[tuple, TargetConfig] = {}
+
+
+def clear_profile_cache() -> None:
+    """Drop memoized profiling results (tests use this for isolation)."""
+    _PROFILE_CACHE.clear()
+
+
+def _build_cluster(
+    cfg: ExperimentConfig, app: AppSpec, seed: int, *, record: bool
+) -> Tuple[Simulator, Cluster]:
+    cores = cfg.cores_per_node
+    if cores is None:
+        cores = node_budget(app, n_nodes=cfg.n_nodes)
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    cluster_cfg = ClusterConfig(
+        n_nodes=cfg.n_nodes,
+        cores_per_node=cores,
+        placement=cfg.placement if cfg.n_nodes > 1 else "pack",
+        record_timelines=record,
+        trace_runtimes=cfg.trace_runtimes,
+    )
+    return sim, Cluster(sim, app, cluster_cfg, rng)
+
+
+def profile_targets(cfg: ExperimentConfig) -> TargetConfig:
+    """Low-load profiling pass → :class:`TargetConfig` (memoized).
+
+    The cache key covers everything that changes the profiled values:
+    workload, topology, rates, and the multipliers.
+    """
+    key = (
+        cfg.workload,
+        cfg.app,
+        cfg.n_nodes,
+        cfg.cores_per_node,
+        cfg.placement,
+        cfg.resolved_rate(),
+        cfg.profile_rate_frac,
+        cfg.profile_duration,
+        cfg.qos_multiplier,
+        cfg.target_multiplier,
+        cfg.tfs_multiplier,
+    )
+    cached = _PROFILE_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    app = cfg.resolved_app()
+    sim, cluster = _build_cluster(cfg, app, seed=0, record=False)
+    rate = cfg.resolved_rate() * cfg.profile_rate_frac
+    client = OpenLoopClient(
+        sim, cluster, RateSchedule(rate), duration=cfg.profile_duration
+    )
+    client.begin()
+    sim.run(until=cfg.profile_duration + 1.0)
+
+    t, lat = client.stats.completed_arrays()
+    if lat.size == 0:
+        raise RuntimeError(f"profiling produced no completions for {cfg.workload}")
+    warm = t > cfg.profile_duration / 3.0
+    qos = cfg.qos_multiplier * float(lat[warm].mean())
+
+    # The whole-run averages per container are exactly what the artifact
+    # computes ("collect the values for 1–2 mins and average").
+    windows = {}
+    for name, runtime in cluster.runtimes.items():
+        if runtime.total_count == 0:
+            raise RuntimeError(f"service {name!r} saw no profiling traffic")
+        windows[name] = _lifetime_window(runtime)
+    targets = TargetConfig.from_windows(
+        windows,
+        multiplier=cfg.target_multiplier,
+        tfs_multiplier=cfg.tfs_multiplier,
+        qos_target=qos,
+    )
+    _PROFILE_CACHE[key] = targets
+    return targets
+
+
+def _lifetime_window(runtime):
+    """Aggregate a runtime's lifetime totals into a window-like record."""
+    from repro.cluster.runtime import RuntimeWindow
+
+    n = runtime.total_count
+    avg_exec = runtime.total_exec_time / n
+    avg_wait = runtime.total_conn_wait / n
+    avg_metric = runtime.total_exec_metric / n
+    return RuntimeWindow(
+        t_start=0.0,
+        t_end=runtime.sim.now,
+        count=n,
+        avg_exec_time=avg_exec,
+        avg_conn_wait=avg_wait,
+        avg_exec_metric=avg_metric,
+        queue_buildup=(avg_exec / avg_metric) if avg_metric > 0 else 1.0,
+        upscale_hints=0,
+        max_hint_ttl=0,
+        avg_time_from_start=runtime.total_time_from_start / max(runtime.total_arrivals, 1),
+    )
+
+
+# --------------------------------------------------------------------------
+# Measured run
+# --------------------------------------------------------------------------
+
+
+def run_experiment(
+    cfg: ExperimentConfig, targets: Optional[TargetConfig] = None
+) -> ExperimentResult:
+    """Execute one measured run and summarize it.
+
+    ``targets`` may be passed explicitly (ablations that must share one
+    profiling pass); otherwise :func:`profile_targets` supplies them.
+    """
+    if targets is None:
+        targets = profile_targets(cfg)
+    app = cfg.resolved_app()
+    sim, cluster = _build_cluster(
+        cfg, app, seed=cfg.seed, record=cfg.record_timelines
+    )
+
+    base_rate = cfg.resolved_rate()
+    t_measure = cfg.warmup
+    t_end = cfg.warmup + cfg.duration
+    if cfg.spike_magnitude is not None:
+        schedule = RateSchedule.periodic(
+            base_rate,
+            magnitude=cfg.spike_magnitude,
+            spike_len=cfg.spike_len,
+            period=cfg.spike_period,
+            first=t_measure + cfg.spike_offset,
+            until=t_end,
+        )
+    else:
+        schedule = RateSchedule(base_rate)
+
+    rng = RngRegistry(cfg.seed + 7919)
+    client = OpenLoopClient(
+        sim,
+        cluster,
+        schedule,
+        duration=t_end,
+        pacing=cfg.pacing,
+        rng=rng.stream("client") if cfg.pacing == "poisson" else None,
+    )
+
+    controller = cfg.controller_factory()
+    controller.attach(sim, cluster, targets)
+
+    # Snapshot accounting integrals at the measurement boundary.
+    snap: Dict[str, Tuple[float, float]] = {}
+
+    def take_snapshot() -> None:
+        cluster.sync_all()
+        for name, c in cluster.containers.items():
+            snap[name] = (c.alloc_core_seconds, c.busy_weighted_seconds)
+
+    sim.schedule_at(t_measure, take_snapshot)
+
+    client.begin()
+    controller.start()
+    sim.run(until=t_end + cfg.drain)
+    controller.stop()
+    cluster.sync_all()
+
+    # Measurement-window metrics.
+    t, lat = client.stats.completed_arrays()
+    mask = t >= t_measure
+    t_m, lat_m = t[mask], lat[mask]
+    summary = summarize(t_m, lat_m, targets.qos_target)
+
+    dvfs = cluster.config.dvfs
+    window = (t_end + cfg.drain) - t_measure
+    alloc_cs = 0.0
+    energy = 0.0
+    for name, c in cluster.containers.items():
+        a0, b0 = snap[name]
+        alloc_cs += c.alloc_core_seconds - a0
+        energy += dvfs.static_w * (c.alloc_core_seconds - a0)
+        energy += dvfs.dyn_w_at_fmax * (c.busy_weighted_seconds - b0)
+
+    return ExperimentResult(
+        config=cfg,
+        controller_name=controller.name,
+        targets=targets,
+        summary=summary,
+        avg_cores=alloc_cs / window,
+        energy=energy,
+        controller_stats=controller.stats,
+        latency_trace=np.column_stack([t_m, lat_m]) if t_m.size else np.empty((0, 2)),
+        alloc_events=list(cluster.alloc_events),
+        freq_events=list(cluster.freq_events),
+        outstanding=client.stats.outstanding,
+        fast_path_packets=getattr(controller, "packets_inspected", 0),
+        fast_path_violations=getattr(controller, "fast_path_violations", 0),
+    )

@@ -1,0 +1,57 @@
+"""Experiment scale knobs shared by all figure drivers.
+
+The testbed protocol (30 s warm-up + 60 s measurement, 2 s surges every
+10 s, multi-krps) is scaled so that each figure regenerates in minutes
+of wall-clock: surges keep their *paper* durations and magnitudes, but
+the warm-up, measurement window, and surge period shrink.  ``REPRO_FAST=1``
+shrinks further for CI-style smoke runs; ``REPRO_REPS`` controls the
+repetition protocol (see :mod:`repro.analysis.aggregate`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Timing constants every figure driver derives its windows from."""
+
+    warmup: float
+    #: Measurement window for long-surge experiments (Figs. 11–13).
+    duration: float
+    #: Surge period within the window (paper: 10 s).
+    spike_period: float
+    #: Default surge duration (paper: 2 s).
+    spike_len: float
+    #: Offset of the first surge into the measurement window.
+    spike_offset: float
+    #: Low-load profiling pass length.
+    profile_duration: float
+
+
+_STANDARD = ExperimentScale(
+    warmup=3.0,
+    duration=10.0,
+    spike_period=10.0,
+    spike_len=2.0,
+    spike_offset=1.0,
+    profile_duration=3.0,
+)
+
+_FAST = ExperimentScale(
+    warmup=2.0,
+    duration=6.0,
+    spike_period=6.0,
+    spike_len=2.0,
+    spike_offset=0.5,
+    profile_duration=2.0,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """The active scale: ``REPRO_FAST=1`` selects the smoke-run profile."""
+    return _FAST if os.environ.get("REPRO_FAST", "0") == "1" else _STANDARD

@@ -1,0 +1,75 @@
+"""Table III — workload inventory (depth, RPC framework, threadpool).
+
+Regenerated directly from the workload registry, plus measured low-load
+end-to-end latency for each action so EXPERIMENTS.md can document the
+scaled operating points next to the paper's structural columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.harness import ExperimentConfig, profile_targets
+from repro.services.registry import WORKLOADS
+
+__all__ = ["Table3Row", "run_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    workload: str
+    action: str
+    depth: int
+    rpc: str
+    threadpool: str
+    base_rate: float
+    #: End-to-end QoS target derived by the harness for this action.
+    qos_target: float
+
+
+def run_table3() -> List[Table3Row]:
+    """Regenerate Table III with the scaled operating points appended."""
+    rows: List[Table3Row] = []
+    for key, profile in WORKLOADS.items():
+        app_paper = profile.build(scaled=False)
+        targets = profile_targets(ExperimentConfig(workload=key))
+        rows.append(
+            Table3Row(
+                workload=profile.workload,
+                action=profile.action,
+                depth=app_paper.depth,
+                rpc=app_paper.rpc_framework,
+                threadpool=app_paper.threadpool_label,
+                base_rate=profile.base_rate,
+                qos_target=targets.qos_target,
+            )
+        )
+    return rows
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.analysis.render import format_table
+
+    rows = run_table3()
+    print(
+        format_table(
+            ["workload", "action", "depth", "RPC", "pool", "rate (req/s)", "QoS (ms)"],
+            [
+                (
+                    r.workload,
+                    r.action,
+                    r.depth,
+                    r.rpc,
+                    r.threadpool,
+                    f"{r.base_rate:g}",
+                    f"{r.qos_target * 1e3:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

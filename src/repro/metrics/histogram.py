@@ -1,0 +1,136 @@
+"""Log-bucketed latency histogram (HdrHistogram-style).
+
+wrk2 reports latency as an HDR histogram; this is a compact equivalent:
+geometric buckets between ``min_value`` and ``max_value`` give a bounded
+relative quantile error (≤ the bucket growth factor) with O(1) record
+cost and tiny memory, suitable for multi-million-request runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Fixed-layout geometric histogram.
+
+    Parameters
+    ----------
+    min_value, max_value:
+        Trackable range (values are clamped into it).
+    precision:
+        Buckets per decade; 100 gives ≤ ~2.3 % relative quantile error.
+    """
+
+    def __init__(
+        self,
+        min_value: float = 1e-6,
+        max_value: float = 100.0,
+        precision: int = 100,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if precision < 1:
+            raise ValueError("precision must be >= 1")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.precision = int(precision)
+        decades = np.log10(max_value / min_value)
+        self._nbuckets = int(np.ceil(decades * precision)) + 1
+        self._log_min = np.log10(min_value)
+        self._scale = precision  # buckets per decade
+        self.counts = np.zeros(self._nbuckets, dtype=np.int64)
+        self.total = 0
+        self._sum = 0.0
+        self._max_seen = 0.0
+        self._min_seen = np.inf
+
+    # -------------------------------------------------------------- indexing
+    def _index(self, value: float) -> int:
+        v = min(max(value, self.min_value), self.max_value)
+        idx = int((np.log10(v) - self._log_min) * self._scale)
+        return min(max(idx, 0), self._nbuckets - 1)
+
+    def _bucket_value(self, idx: int) -> float:
+        # Geometric midpoint of the bucket.
+        lo = 10 ** (self._log_min + idx / self._scale)
+        hi = 10 ** (self._log_min + (idx + 1) / self._scale)
+        return float(np.sqrt(lo * hi))
+
+    # ------------------------------------------------------------- recording
+    def record(self, value: float) -> None:
+        """Record one latency sample (seconds)."""
+        if value < 0 or not np.isfinite(value):
+            raise ValueError(f"invalid latency {value!r}")
+        self.counts[self._index(value)] += 1
+        self.total += 1
+        self._sum += value
+        if value > self._max_seen:
+            self._max_seen = value
+        if value < self._min_seen:
+            self._min_seen = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Vectorized bulk record."""
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                         dtype=float)
+        if arr.size == 0:
+            return
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise ValueError("invalid latencies in batch")
+        v = np.clip(arr, self.min_value, self.max_value)
+        idx = ((np.log10(v) - self._log_min) * self._scale).astype(np.int64)
+        idx = np.clip(idx, 0, self._nbuckets - 1)
+        np.add.at(self.counts, idx, 1)
+        self.total += arr.size
+        self._sum += float(arr.sum())
+        self._max_seen = max(self._max_seen, float(arr.max()))
+        self._min_seen = min(self._min_seen, float(arr.min()))
+
+    # --------------------------------------------------------------- queries
+    @property
+    def mean(self) -> float:
+        """Exact sample mean (tracked outside the buckets)."""
+        return self._sum / self.total if self.total else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact maximum recorded value."""
+        return self._max_seen
+
+    @property
+    def min(self) -> float:
+        """Exact minimum recorded value (``inf`` when empty)."""
+        return float(self._min_seen)
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0 < p ≤ 100)."""
+        if not 0 < p <= 100:
+            raise ValueError("p must be in (0, 100]")
+        if self.total == 0:
+            return 0.0
+        target = int(np.ceil(self.total * p / 100.0))
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, target))
+        return self._bucket_value(idx)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (layouts must match)."""
+        if (
+            other.min_value != self.min_value
+            or other.max_value != self.max_value
+            or other.precision != self.precision
+        ):
+            raise ValueError("histogram layouts differ")
+        self.counts += other.counts
+        self.total += other.total
+        self._sum += other._sum
+        self._max_seen = max(self._max_seen, other._max_seen)
+        self._min_seen = min(self._min_seen, other._min_seen)
+
+    def __len__(self) -> int:
+        return self.total

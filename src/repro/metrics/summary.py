@@ -1,0 +1,72 @@
+"""Latency summaries: the quantities every experiment reports.
+
+The paper reports violation volume as the primary metric and notes that
+"the results and trends are similar for tail latency (P98) as well"; the
+summary therefore carries both, plus the supporting statistics used by
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.violation import violation_duration, violation_volume
+
+__all__ = ["LatencySummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """End-to-end latency statistics of one run window."""
+
+    count: int
+    mean: float
+    p50: float
+    p98: float
+    p99: float
+    max: float
+    qos: float
+    #: Violation volume over the window (seconds²).
+    violation_volume: float
+    #: Total violating time (seconds).
+    violation_duration: float
+    #: Fraction of requests exceeding the QoS target.
+    violation_fraction: float
+
+    def __str__(self) -> str:  # pragma: no cover - human output
+        return (
+            f"n={self.count} mean={self.mean * 1e3:.2f}ms p98={self.p98 * 1e3:.2f}ms "
+            f"VV={self.violation_volume * 1e3:.3f}ms·s "
+            f"dur={self.violation_duration * 1e3:.1f}ms "
+            f"frac={self.violation_fraction:.3f}"
+        )
+
+
+def summarize(
+    times: Sequence[float], latencies: Sequence[float], qos: float
+) -> LatencySummary:
+    """Summarize a completed-request latency trace against a QoS target."""
+    t = np.asarray(times, dtype=float)
+    lat = np.asarray(latencies, dtype=float)
+    if t.shape != lat.shape:
+        raise ValueError("times and latencies must match")
+    if lat.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, qos, 0.0, 0.0, 0.0)
+    order = np.argsort(t, kind="stable")
+    t, lat = t[order], lat[order]
+    p50, p98, p99 = np.percentile(lat, [50, 98, 99])
+    return LatencySummary(
+        count=int(lat.size),
+        mean=float(lat.mean()),
+        p50=float(p50),
+        p98=float(p98),
+        p99=float(p99),
+        max=float(lat.max()),
+        qos=float(qos),
+        violation_volume=violation_volume(t, lat, qos),
+        violation_duration=violation_duration(t, lat, qos),
+        violation_fraction=float((lat > qos).mean()),
+    )

@@ -1,0 +1,86 @@
+"""Step-function timeseries for allocation / frequency timelines.
+
+Controllers change allocations at discrete instants, so per-container
+cores-over-time (Fig. 14) and frequency-over-time are right-continuous
+step functions.  :class:`StepSeries` stores the change points and
+supports point queries, window averages, and exact integrals — all used
+by the figure harnesses and the resource accounting cross-checks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StepSeries"]
+
+
+class StepSeries:
+    """A right-continuous step function built from (time, value) changes."""
+
+    def __init__(self, t0: float, v0: float):
+        self._times: List[float] = [float(t0)]
+        self._values: List[float] = [float(v0)]
+
+    def append(self, t: float, v: float) -> None:
+        """Record that the value becomes ``v`` at time ``t``.
+
+        ``t`` must be ≥ the last change time; equal-time appends replace
+        the last value (last-writer-wins within one instant).
+        """
+        last = self._times[-1]
+        if t < last:
+            raise ValueError(f"non-monotonic append: {t} < {last}")
+        if t == last:
+            self._values[-1] = float(v)
+            return
+        if v == self._values[-1]:
+            return  # no-op change; keep the series minimal
+        self._times.append(float(t))
+        self._values.append(float(v))
+
+    # ---------------------------------------------------------------- queries
+    def value_at(self, t: float) -> float:
+        """Value of the step function at time ``t`` (right-continuous)."""
+        if t < self._times[0]:
+            raise ValueError(f"query before series start ({t} < {self._times[0]})")
+        idx = bisect.bisect_right(self._times, t) - 1
+        return self._values[idx]
+
+    def integral(self, t0: float, t1: float) -> float:
+        """∫ value dt over [t0, t1]."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t1 == t0:
+            return 0.0
+        total = 0.0
+        cur = t0
+        idx = bisect.bisect_right(self._times, t0) - 1
+        if idx < 0:
+            raise ValueError("integral starts before series start")
+        while cur < t1:
+            nxt_change = self._times[idx + 1] if idx + 1 < len(self._times) else np.inf
+            end = min(nxt_change, t1)
+            total += self._values[idx] * (end - cur)
+            cur = end
+            idx += 1
+        return total
+
+    def average(self, t0: float, t1: float) -> float:
+        """Time-average over [t0, t1]."""
+        if t1 <= t0:
+            raise ValueError("t1 must be > t0")
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized point query (for plotting/CSV export)."""
+        return np.array([self.value_at(t) for t in times], dtype=float)
+
+    def changes(self) -> List[Tuple[float, float]]:
+        """All (time, value) change points."""
+        return list(zip(self._times, self._values))
+
+    def __len__(self) -> int:
+        return len(self._times)

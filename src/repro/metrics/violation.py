@@ -1,0 +1,116 @@
+"""Violation volume — the paper's contribution C3 (§II-D, Fig. 3).
+
+Definition: treat observed end-to-end latency as a function of time
+(sampled at each request's arrival, as the modified wrk2 does) and
+integrate the part of the curve exceeding the QoS target:
+
+    ``VV = ∫ max(latency(t) − QoS, 0) dt``   [seconds · seconds]
+
+The integral is computed on the piecewise-linear interpolant through the
+samples with *exact* handling of threshold crossings (the clipped
+trapezoid over a crossing segment is computed analytically, not by
+clamping the endpoints — clamping systematically overestimates area near
+crossings and the property tests check against that).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["excess_latency", "violation_duration", "violation_volume"]
+
+
+def _validate(times: np.ndarray, latencies: np.ndarray) -> None:
+    if times.shape != latencies.shape:
+        raise ValueError("times and latencies must have the same shape")
+    if times.ndim != 1:
+        raise ValueError("expected 1-D arrays")
+    if times.size >= 2 and np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+
+
+def excess_latency(latencies: Sequence[float], qos: float) -> np.ndarray:
+    """Per-sample excess above the QoS target, clipped at zero."""
+    lat = np.asarray(latencies, dtype=float)
+    return np.maximum(lat - qos, 0.0)
+
+
+def violation_volume(
+    times: Sequence[float], latencies: Sequence[float], qos: float
+) -> float:
+    """Area of the latency curve above ``qos`` (seconds²).
+
+    Parameters
+    ----------
+    times:
+        Sample timestamps (non-decreasing; typically request arrival
+        times of completed requests).
+    latencies:
+        Latency samples, same length.
+    qos:
+        The end-to-end QoS target (wrk2 ``-qos``).
+    """
+    t = np.asarray(times, dtype=float)
+    y = np.asarray(latencies, dtype=float)
+    _validate(t, y)
+    if qos < 0:
+        raise ValueError("qos must be non-negative")
+    if t.size < 2:
+        return 0.0
+
+    e0 = y[:-1] - qos  # excess at segment starts
+    e1 = y[1:] - qos  # excess at segment ends
+    dt = np.diff(t)
+
+    both_above = (e0 >= 0) & (e1 >= 0)
+    both_below = (e0 <= 0) & (e1 <= 0)
+    crossing = ~(both_above | both_below)
+
+    area = np.zeros_like(dt)
+    # Fully-above segments: plain trapezoid of the excess.
+    area[both_above] = 0.5 * (e0[both_above] + e1[both_above]) * dt[both_above]
+    # Crossing segments: the excess line crosses zero at fraction
+    # f = e_pos / (e_pos - e_neg); the above-zero part is a triangle.
+    if np.any(crossing):
+        ec0 = e0[crossing]
+        ec1 = e1[crossing]
+        dtc = dt[crossing]
+        denom = ec0 - ec1  # nonzero on crossing segments by construction
+        up = ec0 > 0  # above at the start (descending crossing)
+        tri = np.where(
+            up,
+            0.5 * ec0 * (ec0 / denom) * dtc,
+            0.5 * ec1 * (-ec1 / denom) * dtc,
+        )
+        area[crossing] = tri
+    return float(area.sum())
+
+
+def violation_duration(
+    times: Sequence[float], latencies: Sequence[float], qos: float
+) -> float:
+    """Total time (seconds) the interpolated latency curve exceeds ``qos``."""
+    t = np.asarray(times, dtype=float)
+    y = np.asarray(latencies, dtype=float)
+    _validate(t, y)
+    if t.size < 2:
+        return 0.0
+    e0 = y[:-1] - qos
+    e1 = y[1:] - qos
+    dt = np.diff(t)
+    both_above = (e0 > 0) & (e1 > 0)
+    both_below = (e0 <= 0) & (e1 <= 0)
+    crossing = ~(both_above | both_below)
+    dur = np.zeros_like(dt)
+    dur[both_above] = dt[both_above]
+    if np.any(crossing):
+        ec0 = e0[crossing]
+        ec1 = e1[crossing]
+        dtc = dt[crossing]
+        denom = np.where(ec0 == ec1, 1.0, ec0 - ec1)
+        up = ec0 > 0
+        frac_above = np.where(up, ec0 / denom, -ec1 / denom)
+        dur[crossing] = np.clip(frac_above, 0.0, 1.0) * dtc
+    return float(dur.sum())

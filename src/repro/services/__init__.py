@@ -1,0 +1,43 @@
+"""Application task graphs — the simulated DeathStarBench workloads.
+
+The paper evaluates five (workload, action) pairs (Table III):
+
+================  =================  =====  ======  ===============
+Workload          Action             Depth  RPC     Threadpool size
+================  =================  =====  ======  ===============
+CHAIN             —                  5      Thrift  512
+socialNetwork     ReadUserTimeline   5      Thrift  512
+socialNetwork     ComposePost        8      Thrift  512
+hotelReservation  searchHotel        11     gRPC    ∞ (conn/request)
+hotelReservation  recommendHotel     5      gRPC    ∞ (conn/request)
+================  =================  =====  ======  ===============
+
+We rebuild each as a :class:`~repro.services.taskgraph.AppSpec` with the
+same depth, threading model, and RPC framework character; per-service
+work parameters are calibrated so service times sit in the hundreds of
+microseconds, like the real benchmarks.  Service names for the
+socialNetwork actions follow the actual DeathStarBench services that the
+paper's Fig. 14 names (user-timeline-service, post-storage-service,
+post-storage-memcached, ...).
+"""
+
+from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+from repro.services.chain import chain_app
+from repro.services.social_network import compose_post_app, read_user_timeline_app
+from repro.services.hotel_reservation import recommend_hotel_app, search_hotel_app
+from repro.services.registry import WORKLOADS, get_workload, workload_table
+
+__all__ = [
+    "AppSpec",
+    "EdgeSpec",
+    "ServiceSpec",
+    "WORKLOADS",
+    "WorkDist",
+    "chain_app",
+    "compose_post_app",
+    "get_workload",
+    "read_user_timeline_app",
+    "recommend_hotel_app",
+    "search_hotel_app",
+    "workload_table",
+]

@@ -1,0 +1,67 @@
+"""CHAIN microbenchmark (paper §V "Workloads").
+
+A chain of five services, each doing arithmetic work (the paper uses a
+large vector accumulate), connected with the same Thrift fixed-size
+threadpool model as the DeathStarBench socialNetwork workloads.
+
+Calibration: each stage runs ~0.75 ms of work at the 1.6 GHz floor
+(1.2 M cycles), so a 2-core stage saturates near 2.7 krps and the
+end-to-end low-load latency is ~4 ms.  Pool sizes default to the paper's
+512 but are overridden by the experiments to the Little's-Law value for
+the scaled request rate (Eq. 1) so that pool exhaustion occurs at the
+same *relative* surge magnitudes as on the testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+
+__all__ = ["chain_app", "CHAIN_SERVICES"]
+
+CHAIN_SERVICES = ("chain1", "chain2", "chain3", "chain4", "chain5")
+
+
+def chain_app(
+    *,
+    work_cycles: float = 1.2e6,
+    pool_size: Optional[int] = 512,
+    initial_cores: float = 2.0,
+    qos_target: float = 12e-3,
+) -> AppSpec:
+    """Build the CHAIN application.
+
+    Parameters
+    ----------
+    work_cycles:
+        Mean per-stage work (vector-accumulate size proxy).
+    pool_size:
+        Fixed threadpool size on every edge (Table III: 512).
+    initial_cores:
+        Starting allocation per stage.
+    qos_target:
+        End-to-end latency target in seconds.
+    """
+    services = []
+    for i, name in enumerate(CHAIN_SERVICES):
+        children = ()
+        if i + 1 < len(CHAIN_SERVICES):
+            children = (EdgeSpec(CHAIN_SERVICES[i + 1], pool_size),)
+        services.append(
+            ServiceSpec(
+                name=name,
+                pre_work=WorkDist(work_cycles),
+                children=children,
+                initial_cores=initial_cores,
+            )
+        )
+    return AppSpec(
+        name="CHAIN",
+        action="chain",
+        services=tuple(services),
+        root=CHAIN_SERVICES[0],
+        qos_target=qos_target,
+        rpc_framework="thrift",
+        description="5-stage arithmetic chain, fixed-size threadpools",
+    )

@@ -1,0 +1,144 @@
+"""hotelReservation workload (DeathStarBench) — two actions.
+
+Both actions use gRPC with the **connection-per-request** model
+(Table III threadpool size ∞): every edge has ``pool_size=None``, so no
+implicit queueing exists anywhere.  This is the regime where the paper's
+``queueBuildup`` stays ≈1 throughout a surge, CaladanAlgo never detects
+congestion (its dismal Fig. 11 hotel results), and SurgeGuard's benefit
+comes purely from sensitivity-aware allocation.
+
+Topology note: the paper counts searchHotel at depth 11 and
+recommendHotel at depth 5.  The real searchHotel graph interleaves
+frontends, logic services and their cache/db sidecars; we reproduce the
+reported depth with a backbone through the rate/reservation/profile
+tiers and the geo∥rate parallel fan-out at the search service (gRPC
+async), which preserves the controller-relevant structure (depth,
+fan-out, threading model) — see DESIGN.md "Substitutions".
+"""
+
+from __future__ import annotations
+
+from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+
+__all__ = ["search_hotel_app", "recommend_hotel_app"]
+
+
+def search_hotel_app(*, qos_target: float = 30e-3) -> AppSpec:
+    """hotelReservation searchHotel (depth 11, gRPC, conn-per-request)."""
+    mk = WorkDist
+    services = (
+        ServiceSpec(
+            "frontend",
+            pre_work=mk(0.5e6),
+            children=(EdgeSpec("search"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "search",
+            pre_work=mk(1.0e6),
+            children=(EdgeSpec("geo"), EdgeSpec("rate")),
+            fanout="parallel",
+            post_work=mk(0.3e6),
+            initial_cores=1.5,
+        ),
+        ServiceSpec("geo", pre_work=mk(0.9e6), initial_cores=1.0),
+        ServiceSpec(
+            "rate",
+            pre_work=mk(1.0e6),
+            children=(EdgeSpec("rate-memcached"),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "rate-memcached",
+            pre_work=mk(0.6e6),
+            children=(EdgeSpec("rate-mongodb"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "rate-mongodb",
+            pre_work=mk(0.8e6),
+            children=(EdgeSpec("reservation"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "reservation",
+            pre_work=mk(1.0e6),
+            children=(EdgeSpec("reservation-memcached"),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "reservation-memcached",
+            pre_work=mk(0.6e6),
+            children=(EdgeSpec("reservation-mongodb"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "reservation-mongodb",
+            pre_work=mk(0.8e6),
+            children=(EdgeSpec("profile"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "profile",
+            pre_work=mk(0.9e6),
+            children=(EdgeSpec("profile-memcached"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "profile-memcached",
+            pre_work=mk(0.6e6),
+            children=(EdgeSpec("profile-mongodb"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec("profile-mongodb", pre_work=mk(0.8e6), initial_cores=1.0),
+    )
+    return AppSpec(
+        name="hotelReservation",
+        action="searchHotel",
+        services=services,
+        root="frontend",
+        qos_target=qos_target,
+        rpc_framework="grpc",
+        description="Hotel search: depth-11 backbone, geo/rate parallel fan-out",
+    )
+
+
+def recommend_hotel_app(*, qos_target: float = 14e-3) -> AppSpec:
+    """hotelReservation recommendHotel (depth 5, gRPC, conn-per-request)."""
+    mk = WorkDist
+    services = (
+        ServiceSpec(
+            "frontend",
+            pre_work=mk(0.5e6),
+            children=(EdgeSpec("recommendation"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "recommendation",
+            pre_work=mk(1.4e6),
+            children=(EdgeSpec("profile"),),
+            initial_cores=2.0,
+        ),
+        ServiceSpec(
+            "profile",
+            pre_work=mk(1.1e6),
+            children=(EdgeSpec("profile-memcached"),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "profile-memcached",
+            pre_work=mk(0.6e6),
+            children=(EdgeSpec("profile-mongodb"),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec("profile-mongodb", pre_work=mk(0.9e6), initial_cores=1.0),
+    )
+    return AppSpec(
+        name="hotelReservation",
+        action="recommendHotel",
+        services=services,
+        root="frontend",
+        qos_target=qos_target,
+        rpc_framework="grpc",
+        description="Hotel recommendation: depth-5 chain, conn-per-request",
+    )

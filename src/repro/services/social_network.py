@@ -1,0 +1,164 @@
+"""socialNetwork workload (DeathStarBench) — two actions.
+
+Both actions use Thrift with fixed-size threadpools (Table III).  The
+task graphs reproduce the DeathStarBench service names and the depths
+the paper reports (5 for ReadUserTimeline, 8 for ComposePost); work
+parameters are calibrated, not measured, since the real benchmark's
+datasets (socfb-Reed98 + 30 generated posts/user) are not available
+here — see DESIGN.md "Substitutions".
+
+The service-level asymmetries matter for the reproduction:
+
+* ``user-timeline-service`` is the *mid-graph aggregator* whose fixed
+  pool to post-storage is where the hidden queue forms (Fig. 14);
+* the storage tier (memcached / mongodb) is lighter per request but
+  saturates during surges because its initial allocation is lean —
+  these are the containers SurgeGuard's hints reach and the baselines
+  starve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+
+__all__ = ["read_user_timeline_app", "compose_post_app"]
+
+
+def read_user_timeline_app(
+    *,
+    pool_size: Optional[int] = 512,
+    qos_target: float = 16e-3,
+) -> AppSpec:
+    """socialNetwork ReadUserTimeline (depth 5, Thrift, fixed pools)."""
+    mk = WorkDist
+    services = (
+        # nginx proxies over its own event loop — effectively unbounded
+        # concurrency toward the service tier (the Thrift fixed pools sit
+        # *between* the services, which is where the paper's implicit
+        # queue forms: in user-timeline-service, Fig. 14).
+        ServiceSpec(
+            "nginx-web-server",
+            pre_work=mk(0.4e6),
+            children=(EdgeSpec("user-timeline-service", None),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "user-timeline-service",
+            pre_work=mk(1.4e6),
+            children=(
+                EdgeSpec("user-timeline-redis", pool_size),
+                EdgeSpec("post-storage-service", pool_size),
+            ),
+            post_work=mk(0.3e6),
+            initial_cores=2.0,
+        ),
+        ServiceSpec("user-timeline-redis", pre_work=mk(0.45e6), initial_cores=1.0),
+        ServiceSpec(
+            "post-storage-service",
+            pre_work=mk(1.1e6),
+            children=(EdgeSpec("post-storage-memcached", pool_size),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "post-storage-memcached",
+            pre_work=mk(0.7e6),
+            children=(EdgeSpec("post-storage-mongodb", pool_size),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec("post-storage-mongodb", pre_work=mk(0.9e6), initial_cores=1.0),
+    )
+    return AppSpec(
+        name="socialNetwork",
+        action="ReadUserTimeline",
+        services=services,
+        root="nginx-web-server",
+        qos_target=qos_target,
+        rpc_framework="thrift",
+        description="Timeline read: nginx -> user-timeline -> storage tier",
+    )
+
+
+def compose_post_app(
+    *,
+    pool_size: Optional[int] = 512,
+    qos_target: float = 24e-3,
+) -> AppSpec:
+    """socialNetwork ComposePost (depth 8, Thrift, fixed pools).
+
+    Backbone: nginx → compose-post → user → social-graph → home-timeline
+    → post-storage → memcached → mongodb (8 deep), with the text/URL and
+    user-mention branches hanging off compose-post as in DeathStarBench.
+    """
+    mk = WorkDist
+    services = (
+        # Event-driven front tier: see read_user_timeline_app.
+        ServiceSpec(
+            "nginx-web-server",
+            pre_work=mk(0.4e6),
+            children=(EdgeSpec("compose-post-service", None),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "compose-post-service",
+            pre_work=mk(1.2e6),
+            children=(
+                EdgeSpec("text-service", pool_size),
+                EdgeSpec("user-service", pool_size),
+            ),
+            post_work=mk(0.3e6),
+            initial_cores=2.0,
+        ),
+        ServiceSpec(
+            "text-service",
+            pre_work=mk(0.8e6),
+            children=(
+                EdgeSpec("url-shorten-service", pool_size),
+                EdgeSpec("user-mention-service", pool_size),
+            ),
+            initial_cores=1.0,
+        ),
+        ServiceSpec("url-shorten-service", pre_work=mk(0.5e6), initial_cores=0.5),
+        ServiceSpec("user-mention-service", pre_work=mk(0.5e6), initial_cores=0.5),
+        ServiceSpec(
+            "user-service",
+            pre_work=mk(0.9e6),
+            children=(EdgeSpec("social-graph-service", pool_size),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec(
+            "social-graph-service",
+            pre_work=mk(1.0e6),
+            children=(EdgeSpec("home-timeline-service", pool_size),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "home-timeline-service",
+            pre_work=mk(1.0e6),
+            children=(EdgeSpec("post-storage-service", pool_size),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "post-storage-service",
+            pre_work=mk(1.1e6),
+            children=(EdgeSpec("post-storage-memcached", pool_size),),
+            initial_cores=1.5,
+        ),
+        ServiceSpec(
+            "post-storage-memcached",
+            pre_work=mk(0.7e6),
+            children=(EdgeSpec("post-storage-mongodb", pool_size),),
+            initial_cores=1.0,
+        ),
+        ServiceSpec("post-storage-mongodb", pre_work=mk(0.9e6), initial_cores=1.0),
+    )
+    return AppSpec(
+        name="socialNetwork",
+        action="ComposePost",
+        services=services,
+        root="nginx-web-server",
+        qos_target=qos_target,
+        rpc_framework="thrift",
+        description="Post composition: 8-deep backbone with text/user branches",
+    )

@@ -1,0 +1,186 @@
+"""Core discrete-event simulation loop.
+
+Design notes
+------------
+* A single binary heap keyed on ``(time, seq)`` gives deterministic FIFO
+  ordering for simultaneous events — essential for reproducibility of the
+  experiment protocol (17 seeded repetitions, trim, average).
+* Events are *cancellable*: :meth:`Simulator.schedule` returns an
+  :class:`EventHandle`; cancelled handles stay in the heap and are skipped
+  on pop (the standard "lazy deletion" trick).  Re-scheduling a container's
+  next-completion event on every allocation change relies on this being
+  cheap.
+* Handlers are plain callables ``fn(*args)``.  Coroutine-style processes are
+  intentionally avoided in the hot path (per the profiling-first HPC guide:
+  the event loop is the bottleneck, so it stays minimal); the convenience
+  wrapper :class:`repro.sim.process.PeriodicProcess` covers the common
+  "controller decision cycle" pattern.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the simulator (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Instances are created by :meth:`Simulator.schedule`; user code should
+    only ever call :meth:`cancel` and read :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event.  Idempotent; cancelling a fired event is a no-op."""
+        self.cancelled = True
+        # Drop references so a cancelled handle retained by user code does not
+        # keep a whole object graph alive until the heap drains.
+        self.fn = None
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the event is scheduled and not yet fired or cancelled."""
+        return not self.cancelled and self.fn is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated clock value (seconds).  Defaults to ``0.0``.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> h = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_fired_count", "trace_hook")
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._fired_count = 0
+        #: optional callable ``(time, fn, args)`` invoked before each event;
+        #: used by tests and the debugging tracer, ``None`` in production runs.
+        self.trace_hook: Optional[Callable[[float, Callable, tuple], None]] = None
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for engine benchmarks)."""
+        return self._fired_count
+
+    @property
+    def events_pending(self) -> int:
+        """Number of heap entries, *including* lazily-cancelled ones."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative.  Returns a cancellable
+        :class:`EventHandle`.
+        """
+        if delay < 0.0 or not math.isfinite(delay):
+            raise SimulationError(f"invalid event delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now or not math.isfinite(time):
+            raise SimulationError(
+                f"cannot schedule at t={time!r} (now={self._now!r})"
+            )
+        handle = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ---------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` if none remain."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if handle.cancelled or handle.fn is None:
+                continue
+            self._now = handle.time
+            fn, args = handle.fn, handle.args
+            handle.fn = None  # mark fired
+            if self.trace_hook is not None:
+                self.trace_hook(self._now, fn, args)
+            self._fired_count += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events`` fire.
+
+        When ``until`` is given the clock is advanced to exactly ``until`` on
+        return (even if the last event fired earlier), so back-to-back
+        ``run(until=...)`` calls behave like a continuous timeline.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        try:
+            while heap and budget > 0:
+                head = heap[0]
+                if head.cancelled or head.fn is None:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                self.step()
+                budget -= 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def drain(self) -> None:
+        """Discard all pending events without running them."""
+        self._heap.clear()

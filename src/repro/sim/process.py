@@ -1,0 +1,86 @@
+"""Periodic-process helper for controller decision cycles.
+
+Resource controllers in this code base (Parties' 500 ms loop, Escalator's
+decision cycle, runtime metric flushes, energy sampling) all share the
+same shape: *run a callback every ``interval`` seconds until stopped*.
+:class:`PeriodicProcess` packages that pattern with phase control and
+clean cancellation so controllers never touch the event heap directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+__all__ = ["PeriodicProcess"]
+
+
+class PeriodicProcess:
+    """Invoke ``fn()`` every ``interval`` simulated seconds.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    interval:
+        Period in seconds (must be positive).
+    fn:
+        Zero-argument callback.
+    phase:
+        Delay before the first invocation.  Defaults to one full interval
+        (i.e. the first tick happens at ``now + interval``).
+    jitter_fn:
+        Optional callable returning a per-tick extra delay; used to model
+        controller wake-up noise in the Table I update-interval benchmark.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[[], Any],
+        *,
+        phase: Optional[float] = None,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ):
+        if interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.fn = fn
+        self.jitter_fn = jitter_fn
+        self.ticks = 0
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+        first = self.interval if phase is None else float(phase)
+        self._handle = sim.schedule(first, self._tick)
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Stop the process; idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def set_interval(self, interval: float) -> None:
+        """Change the period; takes effect from the next tick."""
+        if interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.interval = float(interval)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.ticks += 1
+        self.fn()
+        if self._stopped:  # fn() may have called stop()
+            return
+        delay = self.interval
+        if self.jitter_fn is not None:
+            delay += max(0.0, self.jitter_fn())
+        self._handle = self.sim.schedule(delay, self._tick)

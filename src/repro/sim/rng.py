@@ -1,0 +1,75 @@
+"""Named, independently-seeded random streams.
+
+Every stochastic component (arrival process, per-service work draws,
+network jitter, ...) pulls its own :class:`numpy.random.Generator` from a
+shared :class:`RngRegistry`.  Streams are derived with
+``numpy.random.SeedSequence.spawn``-style keying so that
+
+* two runs with the same root seed are bit-identical, and
+* adding a new consumer does not perturb the draws of existing ones
+  (each stream is keyed by its *name*, not by creation order).
+
+This is what makes the artifact's 17-repetition / trim-outliers protocol
+meaningful in simulation: repetition *i* simply uses root seed
+``base_seed + i``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+def _stable_key(name: str) -> int:
+    """Map a stream name to a stable 32-bit integer (CRC32 of the UTF-8 bytes)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+class RngRegistry:
+    """Factory for named, reproducible random generators.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole simulation run.
+
+    Examples
+    --------
+    >>> r1, r2 = RngRegistry(7), RngRegistry(7)
+    >>> bool((r1.stream("arrivals").random(4) == r2.stream("arrivals").random(4)).all())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        instance (so draws advance its state), while distinct names get
+        statistically independent streams.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(_stable_key(name),))
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, salt: int) -> "RngRegistry":
+        """A registry whose streams are independent of this one (used for reps)."""
+        return RngRegistry(self.seed * 1_000_003 + salt)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

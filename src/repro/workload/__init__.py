@@ -1,0 +1,19 @@
+"""Open-loop workload generation — the ``wrk2_spike`` artifact (A2).
+
+The paper modifies wrk2 to (a) generate input load spikes and (b) report
+the violation-volume metric.  This subpackage is that tool's simulation
+counterpart:
+
+* :class:`~repro.workload.arrivals.RateSchedule` — piecewise-constant
+  request-rate functions with the artifact's knobs (``-rate``,
+  ``-spikerate``, ``-spikelen`` and the spike period used in §VI-B);
+* :class:`~repro.workload.generator.OpenLoopClient` — a constant-pacing
+  (wrk2-style) or Poisson open-loop client.  Open-loop means arrivals
+  never wait for completions, so queue buildup during a surge is fully
+  visible (no coordinated omission).
+"""
+
+from repro.workload.arrivals import RateSchedule, Spike
+from repro.workload.generator import ClientStats, OpenLoopClient
+
+__all__ = ["ClientStats", "OpenLoopClient", "RateSchedule", "Spike"]

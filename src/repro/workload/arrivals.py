@@ -1,0 +1,154 @@
+"""Piecewise-constant request-rate schedules with spike injection.
+
+A :class:`RateSchedule` is a base rate plus a list of :class:`Spike`
+windows during which the rate is overridden (the paper's instantaneous
+surge model: "the *instantaneous* request rate during a surge is much
+higher" — modeled as a rectangular rate pulse, which is also exactly
+what the modified wrk2 generates).
+
+The schedule supports exact inversion of the cumulative arrival count
+(:meth:`RateSchedule.advance`), which the open-loop client uses to place
+arrivals precisely even when a 100 µs spike multiplies the rate 20×.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["RateSchedule", "Spike"]
+
+
+@dataclass(frozen=True)
+class Spike:
+    """One rectangular rate override: rate = ``rate`` during [start, end)."""
+
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty spike window [{self.start}, {self.end})")
+        if self.rate < 0:
+            raise ValueError("spike rate must be non-negative")
+
+
+class RateSchedule:
+    """Base rate plus non-overlapping spike overrides.
+
+    Parameters
+    ----------
+    base_rate:
+        Steady-state request rate (the wrk2 ``-rate`` knob).
+    spikes:
+        Override windows, non-overlapping (checked).  During a spike the
+        rate *is* the spike rate (not additive), matching the paper's
+        "request rate during the surge is set to 1.25×/1.5×/1.75× of the
+        base request rate".
+    """
+
+    def __init__(self, base_rate: float, spikes: Sequence[Spike] = ()):
+        if base_rate < 0:
+            raise ValueError("base_rate must be non-negative")
+        self.base_rate = float(base_rate)
+        self.spikes: List[Spike] = sorted(spikes, key=lambda s: s.start)
+        for a, b in zip(self.spikes, self.spikes[1:]):
+            if b.start < a.end:
+                raise ValueError(f"overlapping spikes: {a} and {b}")
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def periodic(
+        cls,
+        base_rate: float,
+        *,
+        magnitude: float,
+        spike_len: float,
+        period: float,
+        first: float,
+        until: float,
+    ) -> "RateSchedule":
+        """Spikes of ``magnitude × base_rate`` every ``period`` seconds.
+
+        This is the §VI-B configuration ("injecting 2 s long request rate
+        surges every 10 s ... surge rate 1.25×/1.5×/1.75× of base").
+        """
+        if magnitude < 0 or spike_len <= 0 or period <= 0:
+            raise ValueError("invalid periodic spike parameters")
+        if spike_len > period:
+            raise ValueError("spike_len must not exceed period")
+        spikes = []
+        t = first
+        while t < until:
+            spikes.append(Spike(t, min(t + spike_len, until), magnitude * base_rate))
+            t += period
+        return cls(base_rate, spikes)
+
+    @classmethod
+    def single(
+        cls, base_rate: float, *, magnitude: float, start: float, length: float
+    ) -> "RateSchedule":
+        """One spike of ``magnitude × base_rate`` (Fig. 10 / Fig. 14 shape)."""
+        return cls(base_rate, [Spike(start, start + length, magnitude * base_rate)])
+
+    # --------------------------------------------------------------- queries
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate at time ``t``."""
+        for s in self.spikes:
+            if s.start <= t < s.end:
+                return s.rate
+        return self.base_rate
+
+    def _boundaries_after(self, t: float) -> List[Tuple[float, float]]:
+        """(segment_end, segment_rate) pairs covering [t, ∞) in order."""
+        segs: List[Tuple[float, float]] = []
+        cur = t
+        for s in self.spikes:
+            if s.end <= cur:
+                continue
+            if s.start > cur:
+                segs.append((s.start, self.base_rate))
+            segs.append((s.end, s.rate))
+            cur = s.end
+        segs.append((math.inf, self.base_rate))
+        return segs
+
+    def advance(self, t: float, units: float) -> float:
+        """Earliest ``t' ≥ t`` with ``∫_t^{t'} rate(u) du = units``.
+
+        Returns ``inf`` if the integral never reaches ``units`` (zero
+        rate forever).  This inverts the cumulative arrival function for
+        both deterministic pacing (``units = 1``) and Poisson thinning
+        (``units ~ Exp(1)``).
+        """
+        if units < 0:
+            raise ValueError("units must be non-negative")
+        remaining = units
+        cur = t
+        for seg_end, rate in self._boundaries_after(t):
+            if rate > 0:
+                dt_needed = remaining / rate
+                if cur + dt_needed <= seg_end:
+                    return cur + dt_needed
+                remaining -= (seg_end - cur) * rate
+            if seg_end is math.inf or seg_end == math.inf:
+                return math.inf
+            cur = seg_end
+        return math.inf  # pragma: no cover - loop always hits the inf segment
+
+    def mean_rate(self, t0: float, t1: float) -> float:
+        """Average rate over [t0, t1] (for expected-request-count checks)."""
+        if t1 <= t0:
+            raise ValueError("empty interval")
+        total = 0.0
+        cur = t0
+        for seg_end, rate in self._boundaries_after(t0):
+            end = min(seg_end, t1)
+            if end > cur:
+                total += (end - cur) * rate
+                cur = end
+            if cur >= t1:
+                break
+        return total / (t1 - t0)

@@ -1,0 +1,137 @@
+"""Realistic load patterns beyond rectangular spikes.
+
+The paper's evaluation uses rectangular surges (the modified wrk2), but
+its motivation cites production traffic: diurnal cycles with sudden
+events (Facebook's global events, Twitter search spikes, AWS's spiky
+workloads).  These builders produce such shapes as
+:class:`~repro.workload.arrivals.RateSchedule` piecewise-constant
+approximations, so any experiment can swap them in.
+
+All of them go through :func:`from_samples`, which also lets users feed
+*measured* request-rate traces (one sample per bucket) straight into the
+open-loop client.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workload.arrivals import RateSchedule, Spike
+
+__all__ = ["diurnal", "flash_crowd", "from_samples", "ramp"]
+
+
+def from_samples(
+    samples: Sequence[float],
+    *,
+    bucket: float,
+    start: float = 0.0,
+) -> RateSchedule:
+    """Piecewise-constant schedule from a measured rate trace.
+
+    Parameters
+    ----------
+    samples:
+        Request rate per bucket (req/s).  Must be non-empty and
+        non-negative.
+    bucket:
+        Bucket width in seconds.
+    start:
+        Time of the first bucket.
+
+    The schedule's *base* rate is the final sample (the trace's steady
+    tail); earlier buckets become override windows.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty trace")
+    if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+        raise ValueError("rates must be finite and non-negative")
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    base = float(arr[-1])
+    spikes: List[Spike] = []
+    t = start
+    for rate in arr[:-1]:
+        spikes.append(Spike(t, t + bucket, float(rate)))
+        t += bucket
+    return RateSchedule(base, spikes)
+
+
+def diurnal(
+    *,
+    mean_rate: float,
+    amplitude: float = 0.4,
+    period: float = 60.0,
+    duration: float = 120.0,
+    buckets: int = 48,
+    rng: Optional[np.random.Generator] = None,
+    noise: float = 0.0,
+) -> RateSchedule:
+    """A day/night sinusoid compressed to simulation scale.
+
+    ``rate(t) = mean · (1 + amplitude · sin(2πt/period))`` sampled into
+    ``buckets`` steps, with optional multiplicative noise.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError("amplitude must be in [0, 1)")
+    if noise < 0 or (noise > 0 and rng is None):
+        raise ValueError("noise requires an rng and must be non-negative")
+    t = np.linspace(0.0, duration, buckets, endpoint=False)
+    rates = mean_rate * (1.0 + amplitude * np.sin(2 * math.pi * t / period))
+    if noise > 0 and rng is not None:
+        rates = rates * (1.0 + noise * (rng.random(buckets) - 0.5))
+    return from_samples(rates, bucket=duration / buckets)
+
+
+def flash_crowd(
+    *,
+    base_rate: float,
+    peak_multiplier: float = 3.0,
+    onset: float,
+    rise: float = 0.5,
+    hold: float = 2.0,
+    decay: float = 4.0,
+    buckets_per_second: float = 4.0,
+) -> RateSchedule:
+    """A flash-crowd event: sharp rise, plateau, exponential-ish decay.
+
+    This is the "large transient surge" shape of the paper's motivation
+    (2–3× average with much higher instantaneous rates), as opposed to
+    the evaluation's clean rectangles.
+    """
+    if peak_multiplier < 1:
+        raise ValueError("peak_multiplier must be >= 1")
+    nb = max(int((rise + hold + decay) * buckets_per_second), 3)
+    t = np.linspace(0.0, rise + hold + decay, nb, endpoint=False)
+    mult = np.ones(nb)
+    rising = t < rise
+    mult[rising] = 1.0 + (peak_multiplier - 1.0) * (t[rising] / max(rise, 1e-9))
+    plateau = (t >= rise) & (t < rise + hold)
+    mult[plateau] = peak_multiplier
+    tail = t >= rise + hold
+    mult[tail] = 1.0 + (peak_multiplier - 1.0) * np.exp(
+        -(t[tail] - rise - hold) / max(decay / 3.0, 1e-9)
+    )
+    samples = np.append(base_rate * mult, base_rate)  # steady tail
+    return from_samples(
+        samples, bucket=(rise + hold + decay) / nb, start=onset
+    )
+
+
+def ramp(
+    *,
+    start_rate: float,
+    end_rate: float,
+    t0: float,
+    length: float,
+    steps: int = 20,
+) -> RateSchedule:
+    """A linear rate ramp (capacity-planning style load test)."""
+    if steps < 1 or length <= 0:
+        raise ValueError("need steps >= 1 and positive length")
+    rates = np.linspace(start_rate, end_rate, steps + 1)
+    return from_samples(rates, bucket=length / steps, start=t0)

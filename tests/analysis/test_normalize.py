@@ -1,0 +1,52 @@
+"""Unit tests for baseline normalization."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import CellResult
+from repro.analysis.normalize import normalize_cells
+
+
+def cell(controller, vv=1.0, cores=10.0, energy=100.0, workload="w"):
+    return CellResult(
+        workload=workload,
+        controller=controller,
+        reps=1,
+        violation_volume=vv,
+        p98=vv / 10,
+        avg_cores=cores,
+        energy=energy,
+    )
+
+
+class TestNormalize:
+    def test_baseline_normalizes_to_one(self):
+        base = cell("parties")
+        out = normalize_cells([base], base)
+        assert out["parties"].violation_volume == 1.0
+        assert out["parties"].avg_cores == 1.0
+
+    def test_ratios(self):
+        base = cell("parties", vv=2.0, cores=10.0, energy=100.0)
+        subject = cell("surgeguard", vv=0.5, cores=9.0, energy=96.0)
+        out = normalize_cells([subject], base)
+        n = out["surgeguard"]
+        assert n.violation_volume == pytest.approx(0.25)
+        assert n.avg_cores == pytest.approx(0.9)
+        assert n.energy == pytest.approx(0.96)
+        assert n.baseline == "parties"
+
+    def test_zero_baseline_vv_is_inf_or_one(self):
+        base = cell("parties", vv=0.0)
+        perfect = cell("surgeguard", vv=0.0)
+        worse = cell("caladan", vv=1.0)
+        out = normalize_cells([perfect, worse], base)
+        assert out["surgeguard"].violation_volume == 1.0
+        assert math.isinf(out["caladan"].violation_volume)
+
+    def test_cross_workload_rejected(self):
+        base = cell("parties", workload="a")
+        other = cell("surgeguard", workload="b")
+        with pytest.raises(ValueError):
+            normalize_cells([other], base)

@@ -1,0 +1,47 @@
+"""Unit tests for text rendering helpers."""
+
+import pytest
+
+from repro.analysis.render import bar_chart, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "bbb" in lines[0]
+        # all rows align on the same column
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.split("\n")
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])

@@ -1,0 +1,68 @@
+"""Unit tests for the energy model (idle-subtracted accounting)."""
+
+import pytest
+
+from repro.cluster.container import Container
+from repro.cluster.energy import EnergyModel
+
+
+class TestEnergy:
+    def test_idle_allocated_core_burns_static_only(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=2.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        c.sync()
+        e = EnergyModel(dvfs).container_energy(c)
+        assert e == pytest.approx(dvfs.static_w * 2.0 * 10.0)
+
+    def test_busy_core_adds_dynamic(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=1.0, frequency=dvfs.f_max)
+        c.submit(dvfs.f_max * 2.0, lambda: None)  # 2s busy at f_max
+        sim.run()
+        c.sync()
+        e = EnergyModel(dvfs).container_energy(c)
+        expected = dvfs.static_w * 1.0 * 2.0 + dvfs.dyn_w_at_fmax * 1.0 * 2.0
+        assert e == pytest.approx(expected)
+
+    def test_dynamic_scales_quadratically_with_frequency_for_fixed_work(self):
+        # Same *work* at half frequency takes 2x time but the f³ weight
+        # is 1/8: dynamic energy ratio = (f/f_max)² = 1/4.
+        from repro.cluster.frequency import DvfsModel
+
+        wide = DvfsModel(f_min=1.0e9, f_max=2.0e9, step=0.5e9)
+
+        def energy_at(f):
+            from repro.sim.engine import Simulator
+
+            s = Simulator()
+            c = Container(s, "c", wide, cores=1.0, frequency=f)
+            c.submit(wide.f_max, lambda: None)
+            s.run()
+            c.sync()
+            return wide.dyn_w_at_fmax * c.busy_weighted_seconds
+
+        ratio = energy_at(wide.f_max / 2) / energy_at(wide.f_max)
+        assert ratio == pytest.approx(0.25)
+
+    def test_total_energy_sums(self, sim, dvfs):
+        c1 = Container(sim, "a", dvfs, cores=1.0)
+        c2 = Container(sim, "b", dvfs, cores=3.0)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        c1.sync(), c2.sync()
+        model = EnergyModel(dvfs)
+        assert model.total_energy([c1, c2]) == pytest.approx(
+            model.container_energy(c1) + model.container_energy(c2)
+        )
+
+    def test_average_power(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=2.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        c.sync()
+        p = EnergyModel(dvfs).average_power([c], elapsed=10.0)
+        assert p == pytest.approx(dvfs.static_w * 2.0)
+
+    def test_average_power_invalid_elapsed(self, dvfs):
+        with pytest.raises(ValueError):
+            EnergyModel(dvfs).average_power([], elapsed=0.0)

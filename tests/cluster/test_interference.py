@@ -1,0 +1,122 @@
+"""Tests for interference injection (the third surge type)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.container import Container
+from repro.cluster.interference import InterferenceInjector, InterferenceWindow
+from tests.conftest import make_chain_app
+
+
+class TestSpeedFactor:
+    def test_slowdown_scales_service_time(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=1.0, frequency=1.6e9)
+        c.set_speed_factor(0.5)
+        done = []
+        c.submit(1.6e9, lambda: done.append(sim.now))  # 1s of clean work
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_factor_change_mid_job(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=1.0, frequency=1.6e9)
+        done = []
+        c.submit(1.6e9, lambda: done.append(sim.now))
+        sim.schedule(0.5, c.set_speed_factor, 0.5)
+        sim.run()
+        # 0.5s clean (half done) + remaining 0.5s of work at half speed.
+        assert done == [pytest.approx(1.5)]
+
+    def test_invalid_factor_rejected(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=1.0)
+        with pytest.raises(ValueError):
+            c.set_speed_factor(0.0)
+        with pytest.raises(ValueError):
+            c.set_speed_factor(1.5)
+
+    def test_lifting_interference_restores_speed(self, sim, dvfs):
+        c = Container(sim, "c", dvfs, cores=1.0, frequency=1.6e9)
+        c.set_speed_factor(0.5)
+        c.set_speed_factor(1.0)
+        done = []
+        c.submit(1.6e9, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+
+class TestInjector:
+    def test_window_applies_and_lifts(self, sim, rng):
+        app = make_chain_app(2)
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
+        )
+        inj = InterferenceInjector(cluster)
+        inj.inject("s1", start=1.0, length=0.5, factor=0.4)
+        sim.run(until=1.2)
+        assert cluster.containers["s1"].speed_factor == 0.4
+        sim.run(until=2.0)
+        assert cluster.containers["s1"].speed_factor == 1.0
+
+    def test_unknown_container_rejected(self, sim, rng):
+        app = make_chain_app(2)
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
+        )
+        with pytest.raises(KeyError):
+            InterferenceInjector(cluster).inject(
+                "ghost", start=0.0, length=1.0, factor=0.5
+            )
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceWindow("c", 1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            InterferenceWindow("c", 0.0, 1.0, 1.0)
+
+
+class TestSurgeGuardUnderInterference:
+    def test_surgeguard_mitigates_interference(self, sim, rng):
+        """An interference episode inside one mid-chain container: the
+        latency hit with SurgeGuard must be far below static."""
+        from repro.controllers.null import NullController
+        from repro.core import SurgeGuardController
+        from repro.experiments.harness import ExperimentConfig, profile_targets
+        from repro.metrics.violation import violation_volume
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngRegistry
+        from repro.workload.arrivals import RateSchedule
+        from repro.workload.generator import OpenLoopClient
+
+        app = make_chain_app(3, work=1.6e6, pool=8, cores=1.5, deterministic=False)
+        cfg = ExperimentConfig(
+            workload="interf",
+            app=app,
+            base_rate=800.0,
+            spike_magnitude=None,
+            duration=5.0,
+            warmup=1.5,
+            cores_per_node=10.0,
+            profile_duration=1.5,
+        )
+        targets = profile_targets(cfg)
+
+        def run(factory):
+            s = Simulator()
+            from repro.cluster.cluster import Cluster as C, ClusterConfig as CC
+
+            cluster = C(s, app, CC(cores_per_node=10, placement="pack"), RngRegistry(5))
+            InterferenceInjector(cluster).inject(
+                "s1", start=2.5, length=1.5, factor=0.45
+            )
+            client = OpenLoopClient(s, cluster, RateSchedule(800.0), duration=6.0)
+            ctrl = factory()
+            ctrl.attach(s, cluster, targets)
+            client.begin()
+            ctrl.start()
+            s.run(until=7.5)
+            t, lat = client.stats.completed_arrays()
+            mask = t >= 1.5
+            return violation_volume(t[mask], lat[mask], targets.qos_target)
+
+        vv_static = run(NullController)
+        vv_sg = run(SurgeGuardController)
+        assert vv_sg < 0.5 * vv_static

@@ -1,0 +1,152 @@
+"""Integration tests of the request state machine through a real cluster."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.packet import RpcPacket
+from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+from tests.conftest import make_chain_app
+
+
+def run_one_request(sim, cluster):
+    done = []
+    cluster.client_send(0, lambda pkt: done.append(sim.now))
+    sim.run()
+    return done
+
+
+def fanout_app(mode: str, pool: int | None) -> AppSpec:
+    return AppSpec(
+        name="fan",
+        action=mode,
+        services=(
+            ServiceSpec(
+                "root",
+                pre_work=WorkDist(1.6e6, "deterministic"),
+                children=(EdgeSpec("l", pool), EdgeSpec("r", pool)),
+                fanout=mode,
+                initial_cores=2.0,
+            ),
+            ServiceSpec("l", pre_work=WorkDist(1.6e6, "deterministic"), initial_cores=1.0),
+            ServiceSpec("r", pre_work=WorkDist(1.6e6, "deterministic"), initial_cores=1.0),
+        ),
+        root="root",
+        qos_target=50e-3,
+    )
+
+
+def build(sim, rng, app):
+    return Cluster(sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng)
+
+
+class TestChainFlow:
+    def test_request_traverses_whole_chain(self, sim, rng):
+        app = make_chain_app(3)
+        cluster = build(sim, rng, app)
+        done = run_one_request(sim, cluster)
+        assert len(done) == 1
+        for name in ("s0", "s1", "s2"):
+            assert cluster.instances[name].requests_completed == 1
+
+    def test_latency_at_least_sum_of_work(self, sim, rng):
+        app = make_chain_app(3, work=1.6e6)  # 1ms per stage at 1.6GHz
+        cluster = build(sim, rng, app)
+        done = run_one_request(sim, cluster)
+        assert done[0] >= 3e-3
+
+    def test_exec_times_nest_downstream(self, sim, rng):
+        """Upstream execTime ≥ downstream execTime (synchronous RPC)."""
+        app = make_chain_app(3)
+        cluster = build(sim, rng, app)
+        run_one_request(sim, cluster)
+        e = {
+            n: cluster.runtimes[n].total_exec_time
+            for n in ("s0", "s1", "s2")
+        }
+        assert e["s0"] > e["s1"] > e["s2"]
+
+    def test_post_work_runs_after_children(self, sim, rng):
+        app = AppSpec(
+            name="pw",
+            action="x",
+            services=(
+                ServiceSpec(
+                    "a",
+                    pre_work=WorkDist(1.6e6, "deterministic"),
+                    children=(EdgeSpec("b", None),),
+                    post_work=WorkDist(1.6e6, "deterministic"),
+                    initial_cores=1.0,
+                ),
+                ServiceSpec("b", pre_work=WorkDist(1.6e6, "deterministic"), initial_cores=1.0),
+            ),
+            root="a",
+            qos_target=50e-3,
+        )
+        cluster = build(sim, rng, app)
+        done = run_one_request(sim, cluster)
+        assert done[0] >= 3e-3  # pre + child + post
+
+
+class TestFanout:
+    def test_parallel_faster_than_sequential(self, sim, rng):
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngRegistry
+
+        def latency(mode):
+            s = Simulator()
+            c = build(s, RngRegistry(1), fanout_app(mode, None))
+            done = []
+            c.client_send(0, lambda p: done.append(s.now))
+            s.run()
+            return done[0]
+
+        assert latency("parallel") < latency("sequential")
+
+    def test_parallel_waits_for_all_children(self, sim, rng):
+        cluster = build(sim, rng, fanout_app("parallel", None))
+        done = run_one_request(sim, cluster)
+        assert cluster.instances["l"].requests_completed == 1
+        assert cluster.instances["r"].requests_completed == 1
+
+    def test_sequential_conn_wait_accumulates(self, sim, rng):
+        """With a pool of 1 on both edges, the second child call cannot
+        overlap; conn wait stays within execTime."""
+        cluster = build(sim, rng, fanout_app("sequential", 1))
+        for i in range(4):
+            cluster.client_send(i, lambda p: None)
+        sim.run()
+        rt = cluster.runtimes["root"]
+        assert rt.total_conn_wait >= 0.0
+        assert rt.total_exec_metric > 0.0  # never negative / degenerate
+
+
+class TestHintPropagation:
+    def test_upscale_hint_decrements_down_the_chain(self, sim, rng):
+        app = make_chain_app(4)
+        cluster = build(sim, rng, app)
+        # Stamp the root: TTL 2 should reach s1 (2) and s2 (1), not s3 (0).
+        cluster.runtimes["s0"].stamp_upscale(ttl=2, duration=10.0)
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        w1 = cluster.runtimes["s1"].collect()
+        w2 = cluster.runtimes["s2"].collect()
+        w3 = cluster.runtimes["s3"].collect()
+        assert w1.upscale_hints == 1 and w1.max_hint_ttl == 2
+        assert w2.upscale_hints == 1 and w2.max_hint_ttl == 1
+        assert w3.upscale_hints == 0
+
+    def test_no_hint_without_stamp(self, sim, rng):
+        cluster = build(sim, rng, make_chain_app(3))
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        for n in ("s0", "s1", "s2"):
+            assert cluster.runtimes[n].collect().upscale_hints == 0
+
+    def test_start_time_propagates_unchanged(self, sim, rng):
+        seen = []
+        cluster = build(sim, rng, make_chain_app(3))
+        for node in cluster.nodes:
+            node.add_rx_hook(lambda p: seen.append(p.start_time))
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        assert len(set(seen)) == 1  # one job, one start_time everywhere

@@ -1,0 +1,144 @@
+"""Unit tests for the RPC fabric."""
+
+import pytest
+
+from repro.cluster.frequency import DvfsModel
+from repro.cluster.network import Network, NetworkConfig
+from repro.cluster.node import Node
+from repro.cluster.packet import REQUEST, RpcPacket
+
+
+def mk_packet(src="a", dst="b", upscale=0):
+    return RpcPacket(
+        request_id=1, kind=REQUEST, src=src, dst=dst, start_time=0.0, upscale=upscale
+    )
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, NetworkConfig(jitter=0.0))
+
+
+@pytest.fixture
+def two_nodes(sim, dvfs):
+    return Node(sim, "n0", 8, dvfs), Node(sim, "n1", 8, dvfs)
+
+
+class TestRouting:
+    def test_delivers_to_registered_endpoint(self, sim, net, two_nodes):
+        n0, _ = two_nodes
+        inbox = []
+        net.register("a", n0, inbox.append)
+        net.register("b", n0, inbox.append)
+        net.send(mk_packet())
+        sim.run()
+        assert len(inbox) == 1
+        assert inbox[0].dst == "b"
+
+    def test_unknown_destination_raises(self, net, two_nodes):
+        net.register("a", two_nodes[0], lambda p: None)
+        with pytest.raises(KeyError):
+            net.send(mk_packet(dst="nope"))
+
+    def test_unknown_source_raises(self, net, two_nodes):
+        net.register("b", two_nodes[0], lambda p: None)
+        with pytest.raises(KeyError):
+            net.send(mk_packet(src="ghost"))
+
+    def test_duplicate_registration_rejected(self, net, two_nodes):
+        net.register("a", two_nodes[0], lambda p: None)
+        with pytest.raises(ValueError):
+            net.register("a", two_nodes[0], lambda p: None)
+
+    def test_counters(self, sim, net, two_nodes):
+        n0, _ = two_nodes
+        net.register("a", n0, lambda p: None)
+        net.register("b", n0, lambda p: None)
+        net.send(mk_packet())
+        assert net.packets_sent == 1
+        sim.run()
+        assert net.packets_delivered == 1
+
+
+class TestLatency:
+    def test_intra_node_cheaper_than_inter(self, sim, dvfs, two_nodes):
+        cfg = NetworkConfig(intra_node_latency=5e-6, inter_node_latency=30e-6, jitter=0.0)
+        net = Network(sim, cfg)
+        n0, n1 = two_nodes
+        net.register("a", n0, lambda p: None)
+        net.register("b", n0, lambda p: None)
+        net.register("c", n1, lambda p: None)
+        assert net.latency("a", "b") == pytest.approx(5e-6)
+        assert net.latency("a", "c") == pytest.approx(30e-6)
+
+    def test_external_endpoint_is_remote(self, sim, net, two_nodes):
+        n0, _ = two_nodes
+        net.register("a", n0, lambda p: None)
+        net.register("client", None, lambda p: None)
+        assert net.latency("client", "a") == pytest.approx(
+            net.config.inter_node_latency
+        )
+
+    def test_delivery_time_matches_latency(self, sim, net, two_nodes):
+        n0, n1 = two_nodes
+        times = []
+        net.register("a", n0, lambda p: None)
+        net.register("b", n1, lambda p: times.append(sim.now))
+        net.send(mk_packet())
+        sim.run()
+        assert times == [pytest.approx(net.config.inter_node_latency)]
+
+    def test_latency_surge_adds_delay(self, sim, net, two_nodes):
+        n0, n1 = two_nodes
+        times = []
+        net.register("a", n0, lambda p: None)
+        net.register("b", n1, lambda p: times.append(sim.now))
+        net.add_latency_surge(0.0, 1.0, extra=0.005)
+        net.send(mk_packet())
+        sim.run(until=0.1)
+        assert times == [pytest.approx(0.005 + net.config.inter_node_latency)]
+
+    def test_latency_surge_window_respected(self, sim, net, two_nodes):
+        n0, n1 = two_nodes
+        times = []
+        net.register("a", n0, lambda p: None)
+        net.register("b", n1, lambda p: times.append(sim.now))
+        net.add_latency_surge(0.5, 1.0, extra=0.005)
+        sim.schedule(2.0, lambda: net.send(mk_packet()))
+        sim.run()
+        assert times == [pytest.approx(2.0 + net.config.inter_node_latency)]
+
+    def test_invalid_surge_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.add_latency_surge(1.0, 0.5, extra=0.01)
+
+
+class TestRxHooks:
+    def test_hooks_run_before_handler(self, sim, net, two_nodes):
+        n0, _ = two_nodes
+        order = []
+        n0.add_rx_hook(lambda p: order.append("hook"))
+        net.register("a", n0, lambda p: None)
+        net.register("b", n0, lambda p: order.append("handler"))
+        net.send(mk_packet())
+        sim.run()
+        assert order == ["hook", "handler"]
+
+    def test_hook_cost_added_to_latency(self, sim, dvfs, two_nodes):
+        cfg = NetworkConfig(intra_node_latency=5e-6, jitter=0.0)
+        net = Network(sim, cfg)
+        n0, _ = two_nodes
+        n0.add_rx_hook(lambda p: None, cost=0.26e-6)
+        net.register("a", n0, lambda p: None)
+        net.register("b", n0, lambda p: None)
+        assert net.latency("a", "b") == pytest.approx(5e-6 + 0.26e-6)
+
+    def test_external_endpoints_skip_hooks(self, sim, net, two_nodes):
+        n0, _ = two_nodes
+        hooked = []
+        n0.add_rx_hook(hooked.append)
+        net.register("a", n0, lambda p: None)
+        net.register("client", None, lambda p: None)
+        net.send(mk_packet(src="a", dst="client"))
+        sim.run()
+        assert hooked == []

@@ -1,0 +1,92 @@
+"""Unit tests for nodes: budgets and hooks."""
+
+import pytest
+
+from repro.cluster.container import Container
+from repro.cluster.node import Node
+
+
+@pytest.fixture
+def node(sim, dvfs):
+    return Node(sim, "n0", 8.0, dvfs)
+
+
+def add(node, name, cores):
+    c = Container(node.sim, name, node.dvfs, cores=cores)
+    node.add_container(c)
+    return c
+
+
+class TestBudget:
+    def test_allocation_accounting(self, node):
+        add(node, "a", 2.0)
+        add(node, "b", 3.0)
+        assert node.allocated == 5.0
+        assert node.free_cores == 3.0
+
+    def test_adding_over_budget_rejected(self, node):
+        add(node, "a", 6.0)
+        with pytest.raises(ValueError):
+            add(node, "b", 3.0)
+
+    def test_set_cores_within_budget(self, node):
+        add(node, "a", 2.0)
+        node.set_cores("a", 7.0)
+        assert node.containers["a"].cores == 7.0
+
+    def test_set_cores_over_budget_rejected(self, node):
+        add(node, "a", 2.0)
+        add(node, "b", 2.0)
+        with pytest.raises(ValueError):
+            node.set_cores("a", 7.0)
+
+    def test_can_grow(self, node):
+        add(node, "a", 2.0)
+        assert node.can_grow("a", 6.0)
+        assert not node.can_grow("a", 6.5)
+
+    def test_can_grow_unknown_container(self, node):
+        with pytest.raises(KeyError):
+            node.can_grow("ghost", 1.0)
+
+    def test_duplicate_container_rejected(self, node):
+        add(node, "a", 1.0)
+        with pytest.raises(ValueError):
+            add(node, "a", 1.0)
+
+    def test_container_cannot_be_placed_twice(self, sim, dvfs, node):
+        c = add(node, "a", 1.0)
+        other = Node(sim, "n1", 8.0, dvfs)
+        with pytest.raises(ValueError):
+            other.add_container(c)
+
+    def test_invalid_node_cores_rejected(self, sim, dvfs):
+        with pytest.raises(ValueError):
+            Node(sim, "n", 0.0, dvfs)
+
+
+class TestHooks:
+    def test_hooks_invoked_in_order(self, node):
+        calls = []
+        node.add_rx_hook(lambda p: calls.append(1))
+        node.add_rx_hook(lambda p: calls.append(2))
+        node.on_packet(object())
+        assert calls == [1, 2]
+
+    def test_rx_overhead_sums_costs(self, node):
+        node.add_rx_hook(lambda p: None, cost=0.26e-6)
+        node.add_rx_hook(lambda p: None, cost=0.1e-6)
+        assert node.rx_overhead == pytest.approx(0.36e-6)
+
+    def test_remove_hook(self, node):
+        calls = []
+        hook = lambda p: calls.append(1)
+        node.add_rx_hook(hook, cost=1e-6)
+        node.remove_rx_hook(hook)
+        node.on_packet(object())
+        assert calls == []
+        assert node.rx_overhead == 0.0
+
+    def test_negative_cost_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.add_rx_hook(lambda p: None, cost=-1.0)

@@ -1,0 +1,55 @@
+"""Unit tests for RPC packets and the Fig. 8 metadata rules."""
+
+from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
+
+
+def mk(upscale=0, start_time=1.25):
+    return RpcPacket(
+        request_id=7,
+        kind=REQUEST,
+        src="a",
+        dst="b",
+        start_time=start_time,
+        upscale=upscale,
+    )
+
+
+class TestForkDownstream:
+    def test_start_time_propagates_unchanged(self):
+        pkt = mk(start_time=3.5)
+        child = pkt.fork_downstream(dst="c", src="b", upscale=0)
+        assert child.start_time == 3.5
+        assert child.request_id == 7
+        assert child.kind == REQUEST
+        assert child.src == "b" and child.dst == "c"
+
+    def test_upscale_set_by_caller(self):
+        child = mk().fork_downstream(dst="c", src="b", upscale=2)
+        assert child.upscale == 2
+
+    def test_context_not_inherited_downstream(self):
+        pkt = mk()
+        pkt.context = object()
+        child = pkt.fork_downstream(dst="c", src="b", upscale=0)
+        assert child.context is None
+
+
+class TestMakeResponse:
+    def test_response_routes_back_to_sender(self):
+        pkt = mk()
+        resp = pkt.make_response(src="b")
+        assert resp.kind == RESPONSE
+        assert resp.dst == "a"
+        assert resp.src == "b"
+
+    def test_response_preserves_context_and_start_time(self):
+        pkt = mk(start_time=9.0)
+        marker = object()
+        pkt.context = marker
+        resp = pkt.make_response(src="b")
+        assert resp.context is marker
+        assert resp.start_time == 9.0
+
+    def test_response_carries_no_upscale(self):
+        resp = mk(upscale=3).make_response(src="b")
+        assert resp.upscale == 0

@@ -1,0 +1,40 @@
+"""Unit tests for placement policies."""
+
+import pytest
+
+from repro.cluster.placement import by_depth, pack_first, round_robin
+
+
+class TestPlacement:
+    def test_round_robin_spreads(self):
+        p = round_robin(["a", "b", "c", "d"], 2)
+        assert p == {"a": 0, "b": 1, "c": 0, "d": 1}
+
+    def test_round_robin_single_node(self):
+        p = round_robin(["a", "b"], 1)
+        assert set(p.values()) == {0}
+
+    def test_pack_first_all_on_node0(self):
+        p = pack_first(["a", "b", "c"], 4)
+        assert set(p.values()) == {0}
+
+    def test_by_depth_alternates_stages(self):
+        depths = {"root": 1, "mid": 2, "leaf": 3}
+        p = by_depth(depths, 2)
+        assert p["root"] != p["mid"]
+        assert p["mid"] != p["leaf"]
+
+    def test_by_depth_crosses_every_edge(self):
+        depths = {f"s{i}": i + 1 for i in range(6)}
+        p = by_depth(depths, 2)
+        for i in range(5):
+            assert p[f"s{i}"] != p[f"s{i+1}"]
+
+    @pytest.mark.parametrize("fn", [round_robin, pack_first])
+    def test_zero_nodes_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(["a"], 0)
+
+    def test_by_depth_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            by_depth({"a": 1}, 0)

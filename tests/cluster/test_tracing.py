@@ -1,0 +1,86 @@
+"""Tests for the request-flow tracer."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.tracing import RequestTracer
+from tests.conftest import make_chain_app
+
+
+@pytest.fixture
+def traced(sim, rng):
+    app = make_chain_app(3, work=1.0e6)
+    cluster = Cluster(
+        sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
+    )
+    tracer = RequestTracer(cluster)
+    return cluster, tracer
+
+
+class TestSpans:
+    def test_one_span_per_container_visit(self, sim, traced):
+        cluster, tracer = traced
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        spans = tracer.spans(0)
+        assert [s.container for s in spans] == ["s0", "s1", "s2"]
+        assert all(s.t_complete is not None for s in spans)
+
+    def test_span_nesting_times(self, sim, traced):
+        cluster, tracer = traced
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        spans = {s.container: s for s in tracer.spans(0)}
+        # Parent spans wrap child spans in time.
+        assert spans["s0"].t_receive <= spans["s1"].t_receive
+        assert spans["s1"].t_complete <= spans["s0"].t_complete
+        assert spans["s0"].duration >= spans["s1"].duration >= spans["s2"].duration
+
+    def test_parent_links(self, sim, traced):
+        cluster, tracer = traced
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        spans = {s.container: s for s in tracer.spans(0)}
+        assert spans["s0"].parent == "client"
+        assert spans["s1"].parent == "s0"
+        assert spans["s2"].parent == "s1"
+
+    def test_max_requests_cap(self, sim, rng):
+        app = make_chain_app(2, work=0.5e6)
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
+        )
+        tracer = RequestTracer(cluster, max_requests=2)
+        for i in range(5):
+            cluster.client_send(i, lambda p: None)
+        sim.run()
+        assert tracer.traced_requests == 2
+
+
+class TestAnalysis:
+    def test_critical_path_covers_chain(self, sim, traced):
+        cluster, tracer = traced
+        cluster.client_send(0, lambda p: None)
+        sim.run()
+        path = tracer.critical_path(0)
+        assert [c for c, _ in path] == ["s0", "s1", "s2"]
+        assert all(t >= 0 for _, t in path)
+        # Self-times sum to approximately the root span duration.
+        root = next(s for s in tracer.spans(0) if s.container == "s0")
+        assert sum(t for _, t in path) <= root.duration + 1e-9
+
+    def test_summary_by_container(self, sim, traced):
+        cluster, tracer = traced
+        for i in range(3):
+            cluster.client_send(i, lambda p: None)
+        sim.run()
+        summary = tracer.summary_by_container()
+        assert set(summary) == {"s0", "s1", "s2"}
+        for name, (count, mean_dur) in summary.items():
+            assert count == 3
+            assert mean_dur > 0
+
+    def test_untraced_request_empty(self, traced):
+        _, tracer = traced
+        assert tracer.spans(99) == []
+        assert tracer.critical_path(99) == []

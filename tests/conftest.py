@@ -1,0 +1,79 @@
+"""Shared fixtures: simulators, small clusters, and test apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.frequency import DvfsModel
+from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(42)
+
+
+@pytest.fixture
+def dvfs() -> DvfsModel:
+    return DvfsModel()
+
+
+def make_chain_app(
+    n: int = 3,
+    *,
+    work: float = 1.0e6,
+    pool: int | None = 8,
+    cores: float = 2.0,
+    qos: float = 20e-3,
+    deterministic: bool = True,
+) -> AppSpec:
+    """A small n-stage chain for substrate tests."""
+    dist = "deterministic" if deterministic else "lognormal"
+    services = []
+    names = [f"s{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        children = (EdgeSpec(names[i + 1], pool),) if i + 1 < n else ()
+        services.append(
+            ServiceSpec(
+                name,
+                pre_work=WorkDist(work, dist),
+                children=children,
+                initial_cores=cores,
+            )
+        )
+    return AppSpec(
+        name="test-chain",
+        action=f"chain{n}",
+        services=tuple(services),
+        root=names[0],
+        qos_target=qos,
+    )
+
+
+@pytest.fixture
+def small_app() -> AppSpec:
+    return make_chain_app()
+
+
+@pytest.fixture
+def small_cluster(sim: Simulator, rng: RngRegistry, small_app: AppSpec) -> Cluster:
+    cfg = ClusterConfig(n_nodes=1, cores_per_node=12.0, placement="pack")
+    return Cluster(sim, small_app, cfg, rng)
+
+
+@pytest.fixture(autouse=True)
+def _clear_profile_cache():
+    """Profiling memoization must not leak between tests."""
+    from repro.experiments.harness import clear_profile_cache
+
+    clear_profile_cache()
+    yield
+    clear_profile_cache()

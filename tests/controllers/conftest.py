@@ -1,0 +1,34 @@
+"""Helpers for controller behavior tests: small, fast experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from tests.conftest import make_chain_app
+
+
+def mini_config(controller_factory, **overrides) -> ExperimentConfig:
+    """A fast 2-service experiment exercising a controller end-to-end.
+
+    Work per stage is 1 ms at 1.6 GHz, base rate 800/s on 1.5 cores
+    (ρ = 0.33 each, spare headroom on a 10-core node), one 1.75× surge.
+    """
+    app = make_chain_app(2, work=1.6e6, pool=6, cores=1.5, deterministic=False)
+    defaults = dict(
+        workload="mini-chain",
+        app=app,
+        base_rate=800.0,
+        controller_factory=controller_factory,
+        spike_magnitude=2.5,
+        spike_len=1.5,
+        spike_period=100.0,
+        spike_offset=0.5,
+        duration=4.0,
+        warmup=1.5,
+        cores_per_node=10.0,
+        profile_duration=1.5,
+        drain=1.0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

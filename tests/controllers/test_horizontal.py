@@ -1,0 +1,85 @@
+"""Tests for the §VII horizontal-autoscaler interaction."""
+
+import pytest
+
+from repro.controllers.horizontal import (
+    HorizontalAutoscaler,
+    HpaParams,
+    HybridController,
+)
+from repro.experiments.harness import run_experiment
+from tests.controllers.conftest import mini_config
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            HpaParams(interval=0.0)
+        with pytest.raises(ValueError):
+            HpaParams(scale_in_utilization=0.8, target_utilization=0.7)
+
+
+class TestHorizontalAlone:
+    def test_scales_out_under_sustained_load(self):
+        cfg = mini_config(
+            lambda: HorizontalAutoscaler(HpaParams(interval=0.5, launch_delay=1.0)),
+            spike_magnitude=2.5,
+            spike_len=4.0,
+            duration=7.0,
+        )
+        res = run_experiment(cfg)
+        assert res.controller_stats.upscale_core_actions > 0
+
+    def test_launch_delay_defers_capacity(self):
+        """With a launch delay longer than the surge, capacity lands too
+        late to help during it — the §VII gap SurgeGuard bridges."""
+        slow = run_experiment(
+            mini_config(
+                lambda: HorizontalAutoscaler(
+                    HpaParams(interval=0.5, launch_delay=5.0)
+                ),
+                spike_len=1.5,
+            )
+        )
+        fast = run_experiment(
+            mini_config(
+                lambda: HorizontalAutoscaler(
+                    HpaParams(interval=0.5, launch_delay=0.25)
+                ),
+            )
+        )
+        assert fast.violation_volume <= slow.violation_volume
+
+    def test_scales_in_when_idle(self):
+        cfg = mini_config(
+            lambda: HorizontalAutoscaler(
+                HpaParams(interval=0.25, scale_in_patience=2, launch_delay=0.5)
+            ),
+            spike_magnitude=None,
+            base_rate=100.0,  # almost idle on the initial allocation
+            duration=4.0,
+        )
+        res = run_experiment(cfg)
+        assert res.controller_stats.downscale_core_actions > 0
+
+
+class TestHybrid:
+    def test_hybrid_bridges_launch_gap(self):
+        """HPA alone eats the surge while replicas launch; the hybrid's
+        SurgeGuard units hold QoS in the meantime."""
+        hpa = HpaParams(interval=0.5, launch_delay=2.0)
+        alone = run_experiment(
+            mini_config(lambda: HorizontalAutoscaler(hpa), spike_len=1.5)
+        )
+        hybrid = run_experiment(
+            mini_config(lambda: HybridController(hpa), spike_len=1.5)
+        )
+        assert hybrid.violation_volume < alone.violation_volume
+
+    def test_hybrid_counts_both_units_actions(self):
+        res = run_experiment(
+            mini_config(
+                lambda: HybridController(HpaParams(interval=0.5, launch_delay=1.0))
+            )
+        )
+        assert res.controller_stats.decision_cycles > 0

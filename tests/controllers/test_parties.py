@@ -1,0 +1,71 @@
+"""Behavior tests for the Parties baseline."""
+
+import pytest
+
+from repro.controllers.parties import PartiesController, PartiesParams
+from repro.experiments.harness import run_experiment
+from tests.controllers.conftest import mini_config
+
+
+class TestParams:
+    def test_defaults_follow_paper(self):
+        p = PartiesParams()
+        assert p.interval == 0.5  # Table I
+        assert p.core_step == 1.0  # both hyperthreads together (§V)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PartiesParams(interval=0.0)
+        with pytest.raises(ValueError):
+            PartiesParams(violation_slack=0.5, comfort_slack=0.3)
+        with pytest.raises(ValueError):
+            PartiesParams(downscale_patience=0)
+
+
+class TestBehavior:
+    def test_upscales_under_surge(self):
+        cfg = mini_config(
+            lambda: PartiesController(PartiesParams(interval=0.1))
+        )
+        res = run_experiment(cfg)
+        assert res.controller_stats.upscale_core_actions > 0
+
+    def test_reduces_vv_vs_static(self):
+        from repro.controllers.null import NullController
+
+        static = run_experiment(mini_config(NullController))
+        parties = run_experiment(
+            mini_config(lambda: PartiesController(PartiesParams(interval=0.1)))
+        )
+        assert parties.violation_volume < static.violation_volume
+
+    def test_one_upscale_per_interval(self):
+        cfg = mini_config(
+            lambda: PartiesController(PartiesParams(interval=0.25))
+        )
+        res = run_experiment(cfg)
+        # Upscales bounded by decision cycles (one adjustment per cycle).
+        assert (
+            res.controller_stats.upscale_core_actions
+            <= res.controller_stats.decision_cycles
+        )
+
+    def test_quiet_at_steady_state(self):
+        """Without surges Parties should neither thrash nor violate."""
+        cfg = mini_config(
+            lambda: PartiesController(PartiesParams(interval=0.1)),
+            spike_magnitude=None,
+        )
+        res = run_experiment(cfg)
+        # Occasional lognormal work tails may graze the QoS line, but
+        # there is no sustained violation and no allocation thrash.
+        assert res.summary.violation_fraction < 0.05
+        assert res.controller_stats.total_actions < 30
+
+    def test_lifecycle_guards(self):
+        c = PartiesController()
+        with pytest.raises(RuntimeError):
+            c.start()
+        cfg = mini_config(PartiesController)
+        res = run_experiment(cfg)  # full lifecycle works
+        assert res.controller_name == "parties"

@@ -1,0 +1,159 @@
+"""Unit + behavior tests for the FirstResponder fast path."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
+from repro.controllers.targets import TargetConfig
+from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.core.firstresponder import FirstResponder
+from repro.experiments.harness import run_experiment
+from tests.conftest import make_chain_app
+from tests.controllers.conftest import mini_config
+
+
+def mk_targets(app, tfs=5e-3):
+    names = app.service_names
+    return TargetConfig(
+        expected_exec_metric={n: 10e-3 for n in names},
+        expected_exec_time={n: 10e-3 for n in names},
+        expected_time_from_start={n: tfs for n in names},
+        qos_target=20e-3,
+    )
+
+
+@pytest.fixture
+def setup(sim, rng):
+    app = make_chain_app(3)
+    cluster = Cluster(
+        sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
+    )
+    targets = mk_targets(app)
+    fr = FirstResponder(
+        sim, cluster.node_views[0], SurgeGuardConfig(), targets
+    )
+    fr.install()
+    return cluster, fr
+
+
+def pkt(dst, start_time, kind=REQUEST):
+    return RpcPacket(
+        request_id=0, kind=kind, src="client", dst=dst, start_time=start_time
+    )
+
+
+class TestSlackDetection:
+    def test_on_time_packet_ignored(self, sim, setup):
+        cluster, fr = setup
+        fr.on_packet(pkt("s0", start_time=sim.now - 1e-3))  # slack +4ms
+        sim.run()
+        assert fr.violations_detected == 0
+        assert cluster.containers["s0"].frequency == cluster.config.dvfs.f_min
+
+    def test_late_packet_boosts_container_and_downstream(self, sim, setup):
+        cluster, fr = setup
+        fr.on_packet(pkt("s0", start_time=-1.0))  # hugely negative slack
+        sim.run()
+        assert fr.violations_detected == 1
+        f_max = cluster.config.dvfs.f_max
+        for name in ("s0", "s1", "s2"):
+            assert cluster.containers[name].frequency == f_max
+
+    def test_boost_applies_after_worker_latency(self, sim, setup):
+        cluster, fr = setup
+        fr.on_packet(pkt("s0", start_time=-1.0))
+        # Before the worker's enqueue+MSR delay elapses: unchanged.
+        assert cluster.containers["s0"].frequency == cluster.config.dvfs.f_min
+        sim.run()
+        assert cluster.containers["s0"].frequency == cluster.config.dvfs.f_max
+
+    def test_responses_not_progress_checked(self, sim, setup):
+        cluster, fr = setup
+        fr.on_packet(pkt("s0", start_time=-1.0, kind=RESPONSE))
+        sim.run()
+        assert fr.violations_detected == 0
+
+    def test_unknown_destination_ignored(self, sim, setup):
+        _, fr = setup
+        fr.on_packet(pkt("client", start_time=-1.0))
+        assert fr.violations_detected == 0
+
+    def test_boost_only_for_downstream_of_dst(self, sim, rng):
+        app = make_chain_app(3)
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
+        )
+        fr = FirstResponder(
+            sim, cluster.node_views[0], SurgeGuardConfig(), mk_targets(app)
+        )
+        fr.install()
+        fr.on_packet(pkt("s1", start_time=-1.0))
+        sim.run()
+        f_max = cluster.config.dvfs.f_max
+        f_min = cluster.config.dvfs.f_min
+        assert cluster.containers["s0"].frequency == f_min  # upstream untouched
+        assert cluster.containers["s1"].frequency == f_max
+        assert cluster.containers["s2"].frequency == f_max
+
+
+class TestHoldWindow:
+    def test_hold_suppresses_repeat_boosts(self, sim, setup):
+        cluster, fr = setup
+        fr.on_packet(pkt("s0", start_time=-1.0))
+        fr.on_packet(pkt("s0", start_time=-1.0))
+        sim.run()
+        assert fr.boosts_applied == 1
+        assert fr.boosts_suppressed == 1
+
+    def test_hold_window_is_2x_qos(self, setup):
+        _, fr = setup
+        assert fr.hold_window == pytest.approx(2.0 * 20e-3)
+
+    def test_boost_allowed_after_hold_expires(self, sim, setup):
+        cluster, fr = setup
+        fr.on_packet(pkt("s0", start_time=-1.0))
+        sim.run()
+        # Escalator decays the frequency...
+        cluster.set_frequency("s0", cluster.config.dvfs.f_min)
+        # ...and after the hold window a new violation re-boosts.
+        sim.schedule(fr.hold_window + 1e-3, lambda: fr.on_packet(pkt("s0", start_time=-1.0)))
+        sim.run()
+        assert fr.boosts_applied == 2
+
+    def test_double_install_rejected(self, setup):
+        _, fr = setup
+        with pytest.raises(RuntimeError):
+            fr.install()
+
+
+class TestIntegrated:
+    def test_fast_path_reduces_short_surge_vv(self):
+        """End-to-end: FirstResponder must beat Escalator-only on a
+        sub-decision-window burst (the Fig. 10 claim)."""
+        common = dict(
+            spike_magnitude=50.0,
+            spike_len=2e-3,
+            spike_period=0.5,
+            spike_offset=0.25,
+            duration=3.0,
+        )
+        esc = run_experiment(
+            mini_config(
+                lambda: SurgeGuardController(SurgeGuardConfig(firstresponder=False)),
+                **common,
+            )
+        )
+        full = run_experiment(mini_config(SurgeGuardController, **common))
+        assert full.fast_path_packets > 0
+        assert full.violation_volume < esc.violation_volume
+
+    def test_hook_cost_charged_on_packets(self, sim, rng):
+        app = make_chain_app(2)
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
+        )
+        fr = FirstResponder(
+            sim, cluster.node_views[0], SurgeGuardConfig(), mk_targets(app)
+        )
+        fr.install()
+        assert cluster.nodes[0].rx_overhead == pytest.approx(0.26e-6)

@@ -1,0 +1,105 @@
+"""Unit tests for the execAvg sensitivity matrix (Design Feature #3)."""
+
+import pytest
+
+from repro.core.sensitivity import SensitivityTracker
+
+
+@pytest.fixture
+def tracker():
+    return SensitivityTracker(alpha=0.5, step=0.5, max_cores=16.0)
+
+
+class TestExecAvg:
+    def test_first_observation_initializes(self, tracker):
+        tracker.observe("c", 2.0, 10e-3)
+        assert tracker.exec_avg("c", 2.0) == pytest.approx(10e-3)
+
+    def test_ewma_update_formula(self, tracker):
+        """execAvg = α·old + (1−α)·new, as printed in the paper."""
+        tracker.observe("c", 2.0, 10e-3)
+        tracker.observe("c", 2.0, 20e-3)
+        assert tracker.exec_avg("c", 2.0) == pytest.approx(15e-3)
+
+    def test_unobserved_is_none(self, tracker):
+        assert tracker.exec_avg("c", 2.0) is None
+        tracker.observe("c", 2.0, 10e-3)
+        assert tracker.exec_avg("c", 3.0) is None
+
+    def test_degenerate_observation_ignored(self, tracker):
+        tracker.observe("c", 2.0, 0.0)
+        assert tracker.exec_avg("c", 2.0) is None
+
+    def test_out_of_range_allocation_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.observe("c", 100.0, 1e-3)
+
+    def test_known_allocations_count(self, tracker):
+        tracker.observe("c", 1.0, 1e-3)
+        tracker.observe("c", 2.0, 1e-3)
+        tracker.observe("c", 2.0, 2e-3)
+        assert tracker.known_allocations("c") == 2
+        assert tracker.known_allocations("ghost") == 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SensitivityTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            SensitivityTracker(step=0.0)
+
+
+class TestSensitivity:
+    def test_sens_formula(self, tracker):
+        """sens = 1 − execAvg[k+1]/execAvg[k] (paper §III-C)."""
+        tracker.observe("c", 2.0, 10e-3)
+        tracker.observe("c", 2.5, 8e-3)
+        assert tracker.sensitivity("c", 2.0) == pytest.approx(0.2)
+
+    def test_sens_none_without_both_points(self, tracker):
+        tracker.observe("c", 2.0, 10e-3)
+        assert tracker.sensitivity("c", 2.0) is None
+
+    def test_sens_clipped_nonnegative(self, tracker):
+        # An extra core apparently slowing things down reads as zero.
+        tracker.observe("c", 2.0, 10e-3)
+        tracker.observe("c", 2.5, 12e-3)
+        assert tracker.sensitivity("c", 2.0) == 0.0
+
+    def test_top_of_range_sens_zero(self, tracker):
+        assert tracker.sensitivity("c", 16.5) == 0.0
+
+    def test_priority_optimistic_when_unknown(self, tracker):
+        assert tracker.upscale_priority("c", 2.0) == tracker.optimistic_sens
+        tracker.observe("c", 2.0, 10e-3)
+        tracker.observe("c", 2.5, 9e-3)
+        assert tracker.upscale_priority("c", 2.0) == pytest.approx(0.1)
+
+
+class TestRevocation:
+    def test_revoke_on_flat_curve(self, tracker):
+        """Fig. 6-right: last core buys < 2 % ⇒ revoke."""
+        tracker.observe("c", 3.5, 10.0e-3)
+        tracker.observe("c", 4.0, 9.95e-3)  # 0.5 % gain
+        assert tracker.should_revoke("c", 4.0, threshold=0.02)
+
+    def test_no_revoke_on_steep_curve(self, tracker):
+        tracker.observe("c", 3.5, 10e-3)
+        tracker.observe("c", 4.0, 7e-3)  # 30 % gain
+        assert not tracker.should_revoke("c", 4.0, threshold=0.02)
+
+    def test_no_revoke_without_evidence(self, tracker):
+        tracker.observe("c", 4.0, 10e-3)  # lower point unknown
+        assert not tracker.should_revoke("c", 4.0, threshold=0.02)
+
+    def test_no_revoke_at_floor(self, tracker):
+        assert not tracker.should_revoke("c", 0.5, threshold=0.02)
+
+    def test_revocation_self_corrects(self, tracker):
+        """After a regretted revoke the bad point is observed and the
+        sensitivity turns steep, blocking the next revoke."""
+        tracker.observe("c", 1.5, 10e-3)
+        tracker.observe("c", 2.0, 9.9e-3)
+        assert tracker.should_revoke("c", 2.0, threshold=0.02)
+        # The revoke happens, latency explodes at 1.5 cores:
+        tracker.observe("c", 1.5, 100e-3)
+        assert not tracker.should_revoke("c", 2.0, threshold=0.02)

@@ -1,0 +1,76 @@
+"""Unit tests for pure helpers inside the figure drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig04_detection_delay import single_service_app
+from repro.experiments.fig05_threading import two_service_app
+from repro.experiments.fig10_short_surges import Fig10Row, vv_reduction
+
+
+class TestFig04App:
+    def test_single_service_topology(self):
+        app = single_service_app()
+        assert app.depth == 1
+        assert app.service_names == ["mono"]
+        assert not app.uses_fixed_pools
+
+
+class TestFig05App:
+    def test_fixed_pool_variant(self):
+        app = two_service_app(pool_size=4)
+        assert app.uses_fixed_pools
+        assert app.depth == 2
+
+    def test_conn_per_request_variant(self):
+        app = two_service_app(pool_size=None)
+        assert not app.uses_fixed_pools
+
+
+class TestFig10Reduction:
+    def _row(self, surge_len, controller, vv):
+        return Fig10Row(
+            surge_len=surge_len,
+            controller=controller,
+            violation_volume=vv,
+            p98=0.0,
+            peak_latency=0.0,
+            trace=np.empty((0, 2)),
+        )
+
+    def test_reduction_formula(self):
+        rows = [
+            self._row(1e-4, "escalator", 10.0),
+            self._row(1e-4, "surgeguard", 2.0),
+        ]
+        assert vv_reduction(rows, 1e-4) == pytest.approx(0.8)
+
+    def test_zero_baseline_is_zero_reduction(self):
+        rows = [
+            self._row(1e-4, "escalator", 0.0),
+            self._row(1e-4, "surgeguard", 0.0),
+        ]
+        assert vv_reduction(rows, 1e-4) == 0.0
+
+
+class TestTable1Structure:
+    def test_row_dataclass(self):
+        from repro.experiments.table1_controllers import Table1Row
+
+        r = Table1Row(
+            controller="x",
+            dependence_aware=True,
+            distributed=False,
+            paper_interval=">1s",
+            measured_interval=1.2,
+        )
+        assert r.measured_interval == 1.2
+
+
+class TestAblationSweepShape:
+    def test_ablation_point_fields(self):
+        from repro.experiments.ablations import AblationPoint
+
+        p = AblationPoint("alpha", 0.5, 1.0, 10.0, 100.0)
+        assert p.knob == "alpha"
+        assert p.value == 0.5

@@ -1,0 +1,20 @@
+"""Tests for the experiment scale selection."""
+
+from repro.experiments.scale import current_scale
+
+
+class TestScale:
+    def test_standard_scale_paper_surge_shape(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        sc = current_scale()
+        assert sc.spike_len == 2.0  # the paper's 2 s surges
+        assert sc.spike_period >= sc.spike_len
+
+    def test_fast_mode_shrinks_windows(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        std = current_scale()
+        monkeypatch.setenv("REPRO_FAST", "1")
+        fast = current_scale()
+        assert fast.duration < std.duration
+        assert fast.warmup <= std.warmup
+        assert fast.spike_len == std.spike_len  # surge shape preserved

@@ -1,0 +1,111 @@
+"""Unit tests for the log-bucketed latency histogram."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_mean_is_exact(self):
+        h = LatencyHistogram()
+        for v in (1e-3, 2e-3, 6e-3):
+            h.record(v)
+        assert h.mean == pytest.approx(3e-3)
+
+    def test_min_max_exact(self):
+        h = LatencyHistogram()
+        h.record_many([5e-3, 1e-3, 9e-3])
+        assert h.min == 1e-3
+        assert h.max == 9e-3
+
+    def test_total_counts(self):
+        h = LatencyHistogram()
+        h.record(1e-3)
+        h.record_many([2e-3] * 9)
+        assert h.total == len(h) == 10
+
+    def test_invalid_values_rejected(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+        with pytest.raises(ValueError):
+            h.record(float("nan"))
+        with pytest.raises(ValueError):
+            h.record_many([1e-3, float("inf")])
+
+    def test_out_of_range_values_clamped(self):
+        h = LatencyHistogram(min_value=1e-3, max_value=1.0)
+        h.record(1e-9)
+        h.record(50.0)
+        assert h.total == 2
+
+    def test_empty_batch_noop(self):
+        h = LatencyHistogram()
+        h.record_many([])
+        assert h.total == 0
+
+
+class TestPercentiles:
+    def test_percentile_relative_error_bounded(self):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(np.log(5e-3), 0.5, 20000)
+        h = LatencyHistogram(min_value=1e-5, max_value=10.0, precision=100)
+        h.record_many(data)
+        for p in (50, 90, 98, 99):
+            exact = np.percentile(data, p)
+            approx = h.percentile(p)
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_percentile_monotone(self):
+        rng = np.random.default_rng(1)
+        h = LatencyHistogram()
+        h.record_many(rng.exponential(1e-2, 5000))
+        ps = [h.percentile(p) for p in (10, 50, 90, 99, 100)]
+        assert all(a <= b for a, b in zip(ps, ps[1:]))
+
+    def test_percentile_empty_is_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+
+    def test_invalid_percentile_rejected(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_record_many_matches_record(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        vals = [1e-3, 3e-3, 8e-3, 2e-2]
+        for v in vals:
+            a.record(v)
+        b.record_many(vals)
+        assert np.array_equal(a.counts, b.counts)
+
+
+class TestMerge:
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.exponential(1e-2, 1000), rng.exponential(2e-2, 1000)
+        a, b, c = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        a.record_many(x)
+        b.record_many(y)
+        c.record_many(np.concatenate([x, y]))
+        a.merge(b)
+        assert np.array_equal(a.counts, c.counts)
+        assert a.mean == pytest.approx(c.mean)
+        assert a.max == c.max
+
+    def test_layout_mismatch_rejected(self):
+        a = LatencyHistogram(precision=100)
+        b = LatencyHistogram(precision=50)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(precision=0)

@@ -1,0 +1,54 @@
+"""Unit tests for latency summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.summary import summarize
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        t = np.arange(10.0)
+        lat = np.full(10, 5e-3)
+        s = summarize(t, lat, qos=10e-3)
+        assert s.count == 10
+        assert s.mean == pytest.approx(5e-3)
+        assert s.p50 == pytest.approx(5e-3)
+        assert s.violation_volume == 0.0
+        assert s.violation_fraction == 0.0
+
+    def test_violation_fields(self):
+        t = np.arange(4.0)
+        lat = np.array([1.0, 3.0, 3.0, 1.0])
+        s = summarize(t, lat, qos=2.0)
+        assert s.violation_fraction == 0.5
+        assert s.violation_volume > 0
+        assert 0 < s.violation_duration < 3.0
+
+    def test_unsorted_input_sorted_internally(self):
+        t = np.array([2.0, 0.0, 1.0])
+        lat = np.array([5.0, 1.0, 3.0])
+        s = summarize(t, lat, qos=10.0)
+        assert s.count == 3
+        assert s.max == 5.0
+
+    def test_empty_input(self):
+        s = summarize([], [], qos=1.0)
+        assert s.count == 0
+        assert s.violation_volume == 0.0
+
+    def test_percentile_ordering(self):
+        rng = np.random.default_rng(0)
+        lat = rng.exponential(1e-2, 2000)
+        t = np.arange(2000.0)
+        s = summarize(t, lat, qos=0.1)
+        assert s.p50 <= s.p98 <= s.p99 <= s.max
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([0.0], [1.0, 2.0], qos=1.0)
+
+    def test_str_is_readable(self):
+        s = summarize([0.0, 1.0], [1e-3, 2e-3], qos=5e-3)
+        text = str(s)
+        assert "p98" in text and "VV" in text

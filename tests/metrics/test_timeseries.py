@@ -1,0 +1,73 @@
+"""Unit tests for step-function timeseries."""
+
+import pytest
+
+from repro.metrics.timeseries import StepSeries
+
+
+class TestStepSeries:
+    def test_value_at_right_continuous(self):
+        s = StepSeries(0.0, 2.0)
+        s.append(1.0, 5.0)
+        assert s.value_at(0.999) == 2.0
+        assert s.value_at(1.0) == 5.0
+        assert s.value_at(10.0) == 5.0
+
+    def test_query_before_start_rejected(self):
+        s = StepSeries(1.0, 2.0)
+        with pytest.raises(ValueError):
+            s.value_at(0.5)
+
+    def test_integral_over_steps(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(1.0, 3.0)
+        s.append(2.0, 0.5)
+        assert s.integral(0.0, 3.0) == pytest.approx(1.0 + 3.0 + 0.5)
+
+    def test_integral_partial_segments(self):
+        s = StepSeries(0.0, 2.0)
+        s.append(1.0, 4.0)
+        assert s.integral(0.5, 1.5) == pytest.approx(2.0 * 0.5 + 4.0 * 0.5)
+
+    def test_integral_empty_interval(self):
+        s = StepSeries(0.0, 2.0)
+        assert s.integral(1.0, 1.0) == 0.0
+
+    def test_average(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(1.0, 3.0)
+        assert s.average(0.0, 2.0) == pytest.approx(2.0)
+
+    def test_equal_time_append_replaces(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(1.0, 2.0)
+        s.append(1.0, 7.0)
+        assert s.value_at(1.0) == 7.0
+        assert len(s) == 2
+
+    def test_noop_append_not_stored(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(1.0, 1.0)
+        assert len(s) == 1
+
+    def test_non_monotonic_append_rejected(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(2.0, 3.0)
+        with pytest.raises(ValueError):
+            s.append(1.0, 5.0)
+
+    def test_sample_vectorized(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(1.0, 2.0)
+        out = s.sample([0.0, 0.5, 1.0, 2.0])
+        assert out.tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    def test_changes_round_trip(self):
+        s = StepSeries(0.0, 1.0)
+        s.append(1.5, 2.5)
+        assert s.changes() == [(0.0, 1.0), (1.5, 2.5)]
+
+    def test_integral_backwards_rejected(self):
+        s = StepSeries(0.0, 1.0)
+        with pytest.raises(ValueError):
+            s.integral(2.0, 1.0)

@@ -1,0 +1,96 @@
+"""Unit tests for violation volume (paper Fig. 3 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.violation import (
+    excess_latency,
+    violation_duration,
+    violation_volume,
+)
+
+
+class TestViolationVolume:
+    def test_all_below_qos_is_zero(self):
+        assert violation_volume([0, 1, 2], [0.1, 0.2, 0.1], qos=1.0) == 0.0
+
+    def test_constant_excess_rectangle(self):
+        # 2s at latency 3 over qos 1 ⇒ area 2×2 = 4.
+        assert violation_volume([0, 1, 2], [3, 3, 3], qos=1.0) == pytest.approx(4.0)
+
+    def test_triangular_excursion(self):
+        # Rise 0→2 over [0,1], fall 2→0 over [1,2], qos=0: area = 2.
+        assert violation_volume([0, 1, 2], [0, 2, 0], qos=0.0) == pytest.approx(2.0)
+
+    def test_crossing_handled_exactly(self):
+        # Segment from 0 to 2 over 1s with qos=1: above-qos part is a
+        # triangle with base 0.5s and height 1 ⇒ 0.25.
+        assert violation_volume([0, 1], [0, 2], qos=1.0) == pytest.approx(0.25)
+
+    def test_descending_crossing(self):
+        assert violation_volume([0, 1], [2, 0], qos=1.0) == pytest.approx(0.25)
+
+    def test_clamped_trapezoid_would_overestimate(self):
+        # Clamping endpoints to qos gives 0.5·(0+1)·1 = 0.5 ≠ exact 0.25.
+        vv = violation_volume([0, 1], [0, 2], qos=1.0)
+        assert vv < 0.5
+
+    def test_fig3_shape_lower_tail_can_have_higher_vv(self):
+        """Fig. 3: the red curve has higher tail latency but lower VV."""
+        t = np.linspace(0, 10, 200)
+        qos = 1.0
+        red = np.where(np.abs(t - 5) < 0.2, 3.0, 0.5)  # short tall spike
+        blue = np.where(np.abs(t - 5) < 2.0, 1.8, 0.5)  # long low bump
+        assert red.max() > blue.max()
+        assert violation_volume(t, red, qos) < violation_volume(t, blue, qos)
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError):
+            violation_volume([1, 0], [1, 1], qos=0.5)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            violation_volume([0, 1], [1], qos=0.5)
+
+    def test_negative_qos_rejected(self):
+        with pytest.raises(ValueError):
+            violation_volume([0, 1], [1, 1], qos=-1.0)
+
+    def test_short_inputs_zero(self):
+        assert violation_volume([], [], qos=1.0) == 0.0
+        assert violation_volume([0.0], [5.0], qos=1.0) == 0.0
+
+    def test_additive_over_subintervals(self):
+        rng = np.random.default_rng(0)
+        t = np.sort(rng.random(100)) * 10
+        y = rng.random(100) * 2
+        whole = violation_volume(t, y, qos=0.7)
+        k = 50
+        left = violation_volume(t[: k + 1], y[: k + 1], qos=0.7)
+        right = violation_volume(t[k:], y[k:], qos=0.7)
+        assert whole == pytest.approx(left + right)
+
+
+class TestViolationDuration:
+    def test_full_duration_when_always_above(self):
+        assert violation_duration([0, 2], [5, 5], qos=1.0) == pytest.approx(2.0)
+
+    def test_zero_when_below(self):
+        assert violation_duration([0, 2], [0.5, 0.5], qos=1.0) == 0.0
+
+    def test_crossing_fraction(self):
+        # 0→2 over 1s, qos 1: above for the second half.
+        assert violation_duration([0, 1], [0, 2], qos=1.0) == pytest.approx(0.5)
+
+    def test_duration_bounded_by_span(self):
+        rng = np.random.default_rng(1)
+        t = np.sort(rng.random(50)) * 5
+        y = rng.random(50) * 3
+        d = violation_duration(t, y, qos=1.0)
+        assert 0.0 <= d <= t[-1] - t[0] + 1e-12
+
+
+class TestExcess:
+    def test_excess_clips_at_zero(self):
+        out = excess_latency([0.5, 1.5, 2.5], qos=1.0)
+        assert out.tolist() == [0.0, 0.5, 1.5]

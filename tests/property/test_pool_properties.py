@@ -1,0 +1,90 @@
+"""Property-based tests on connection-pool invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.threadpool import ConnectionPool
+from repro.sim.engine import Simulator
+
+
+@st.composite
+def workloads(draw):
+    """A capacity plus a sequence of (arrival gap, hold time) calls."""
+    capacity = draw(st.integers(1, 6))
+    calls = draw(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 0.02),
+                st.floats(0.001, 0.05),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return capacity, calls
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_pool_never_exceeds_capacity_and_serves_fifo(wl):
+    capacity, calls = wl
+    sim = Simulator()
+    pool = ConnectionPool(sim, capacity)
+    grant_order = []
+    max_in_flight = [0]
+
+    t = 0.0
+    for i, (gap, hold) in enumerate(calls):
+        t += gap
+
+        def make(i=i, hold=hold):
+            def submit():
+                def granted(wait):
+                    grant_order.append(i)
+                    max_in_flight[0] = max(max_in_flight[0], pool.in_flight)
+                    sim.schedule(hold, pool.release)
+
+                pool.acquire(granted)
+
+            return submit
+
+        sim.schedule(t, make())
+    sim.run()
+
+    # Invariant 1: capacity never exceeded.
+    assert max_in_flight[0] <= capacity
+    assert pool.in_flight == 0
+    # Invariant 2: every caller is eventually served, exactly once.
+    assert sorted(grant_order) == list(range(len(calls)))
+    # Invariant 3: accounting adds up.
+    assert pool.total_acquires == len(calls)
+    assert pool.total_waited <= len(calls)
+    assert pool.total_wait_time >= 0.0
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_unbounded_pool_never_queues(wl):
+    _, calls = wl
+    sim = Simulator()
+    pool = ConnectionPool(sim, None, setup_latency=0.0)
+    waits = []
+
+    t = 0.0
+    for gap, hold in calls:
+        t += gap
+
+        def make(hold=hold):
+            def submit():
+                def granted(wait):
+                    waits.append(wait)
+                    sim.schedule(hold, pool.release)
+
+                pool.acquire(granted)
+
+            return submit
+
+        sim.schedule(t, make())
+    sim.run()
+    assert waits == [0.0] * len(calls)
+    assert pool.max_queue_len == 0

@@ -1,0 +1,97 @@
+"""Tests for the workload registry — Table III structural facts."""
+
+import pytest
+
+from repro.services.registry import (
+    WORKLOADS,
+    calibrate_initial_cores,
+    get_workload,
+    node_budget,
+    workload_table,
+)
+
+
+class TestTable3Facts:
+    """The paper's Table III, row by row."""
+
+    @pytest.mark.parametrize(
+        "key,workload,action,depth,rpc,pool",
+        [
+            ("chain", "CHAIN", "-", 5, "thrift", "512"),
+            ("readUserTimeline", "socialNetwork", "ReadUserTimeline", 5, "thrift", "512"),
+            ("composePost", "socialNetwork", "ComposePost", 8, "thrift", "512"),
+            ("searchHotel", "hotelReservation", "searchHotel", 11, "grpc", "inf"),
+            ("recommendHotel", "hotelReservation", "recommendHotel", 5, "grpc", "inf"),
+        ],
+    )
+    def test_row(self, key, workload, action, depth, rpc, pool):
+        profile = get_workload(key)
+        app = profile.build(scaled=False)
+        assert profile.workload == workload
+        assert profile.action == action
+        assert app.depth == depth
+        assert app.rpc_framework == rpc
+        assert app.threadpool_label == pool
+
+    def test_workload_table_has_five_rows(self):
+        assert len(workload_table()) == 5
+
+    def test_hotel_apps_have_no_pools(self):
+        for key in ("searchHotel", "recommendHotel"):
+            app = get_workload(key).build()
+            assert not app.uses_fixed_pools
+
+    def test_thrift_apps_have_pools(self):
+        for key in ("chain", "readUserTimeline", "composePost"):
+            app = get_workload(key).build()
+            assert app.uses_fixed_pools
+
+    def test_search_hotel_has_parallel_fanout(self):
+        app = get_workload("searchHotel").build()
+        assert any(s.fanout == "parallel" for s in app.services)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("netflix")
+
+
+class TestCalibration:
+    def test_initial_cores_near_knee(self):
+        for key, profile in WORKLOADS.items():
+            app = profile.build()
+            f = 1.6e9
+            for s in app.services:
+                cycles = s.pre_work.mean_cycles + s.post_work.mean_cycles
+                demand = profile.base_rate * cycles / f
+                util = demand / s.initial_cores
+                assert util <= 0.75, f"{key}/{s.name} over the knee: {util:.2f}"
+                # Not absurdly over-provisioned either (except the floor).
+                if s.initial_cores > 0.5:
+                    assert util >= 0.35, f"{key}/{s.name} too cold: {util:.2f}"
+
+    def test_granularity_respected(self):
+        app = calibrate_initial_cores(
+            get_workload("chain").builder(), 1800.0, granularity=0.5
+        )
+        for s in app.services:
+            assert (s.initial_cores / 0.5) == int(s.initial_cores / 0.5)
+
+    def test_invalid_args(self):
+        app = get_workload("chain").builder()
+        with pytest.raises(ValueError):
+            calibrate_initial_cores(app, 0.0)
+        with pytest.raises(ValueError):
+            calibrate_initial_cores(app, 100.0, target_util=1.5)
+
+    def test_node_budget_leaves_headroom(self):
+        for key, profile in WORKLOADS.items():
+            app = profile.build()
+            total = sum(s.initial_cores for s in app.services)
+            budget = node_budget(app)
+            assert budget >= total / 0.65 - 1.0
+            assert budget >= total + 1.0
+
+    def test_scaled_pools_smaller_than_paper(self):
+        for key in ("chain", "readUserTimeline", "composePost"):
+            profile = get_workload(key)
+            assert profile.scaled_pool < profile.paper_pool

@@ -1,0 +1,75 @@
+"""Unit tests for PeriodicProcess."""
+
+import pytest
+
+from repro.sim.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_interval(self, sim):
+        times = []
+        PeriodicProcess(sim, 0.5, lambda: times.append(sim.now))
+        sim.run(until=2.25)
+        assert times == [0.5, 1.0, 1.5, 2.0]
+
+    def test_phase_controls_first_tick(self, sim):
+        times = []
+        PeriodicProcess(sim, 1.0, lambda: times.append(sim.now), phase=0.25)
+        sim.run(until=2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_zero_phase_first_tick_immediate(self, sim):
+        times = []
+        PeriodicProcess(sim, 1.0, lambda: times.append(sim.now), phase=0.0)
+        sim.run(until=1.5)
+        assert times == [0.0, 1.0]
+
+    def test_stop_halts_ticks(self, sim):
+        count = [0]
+        p = PeriodicProcess(sim, 0.5, lambda: count.__setitem__(0, count[0] + 1))
+        sim.schedule(1.1, p.stop)
+        sim.run(until=5.0)
+        assert count[0] == 2
+        assert not p.running
+
+    def test_stop_from_inside_callback(self, sim):
+        p_holder = []
+
+        def cb():
+            p_holder[0].stop()
+
+        p_holder.append(PeriodicProcess(sim, 0.5, cb))
+        sim.run(until=5.0)
+        assert p_holder[0].ticks == 1
+
+    def test_stop_idempotent(self, sim):
+        p = PeriodicProcess(sim, 1.0, lambda: None)
+        p.stop()
+        p.stop()
+
+    def test_set_interval_takes_effect_next_tick(self, sim):
+        times = []
+        p = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        sim.schedule(1.5, p.set_interval, 0.25)
+        sim.run(until=3.0)
+        assert times == [1.0, 2.0, 2.25, 2.5, 2.75, 3.0]
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+        p = PeriodicProcess(sim, 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            p.set_interval(-1.0)
+
+    def test_jitter_extends_period(self, sim):
+        times = []
+        PeriodicProcess(
+            sim, 1.0, lambda: times.append(sim.now), jitter_fn=lambda: 0.1
+        )
+        sim.run(until=3.5)
+        assert times == pytest.approx([1.0, 2.1, 3.2])
+
+    def test_tick_counter(self, sim):
+        p = PeriodicProcess(sim, 0.5, lambda: None)
+        sim.run(until=2.0)
+        assert p.ticks == 4

@@ -1,0 +1,112 @@
+"""Tests for the open-loop client against a real cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.workload.arrivals import RateSchedule, Spike
+from repro.workload.generator import OpenLoopClient
+from tests.conftest import make_chain_app
+
+
+@pytest.fixture
+def cluster(sim, rng):
+    app = make_chain_app(2, work=0.2e6)  # fast stages: client tests
+    return Cluster(sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng)
+
+
+class TestPacing:
+    def test_uniform_pacing_exact_count(self, sim, cluster):
+        client = OpenLoopClient(sim, cluster, RateSchedule(100.0), duration=2.0)
+        client.begin()
+        sim.run(until=3.0)
+        assert client.stats.sent == 200
+
+    def test_uniform_gaps_constant(self, sim, cluster):
+        client = OpenLoopClient(sim, cluster, RateSchedule(50.0), duration=1.0)
+        client.begin()
+        sim.run(until=2.0)
+        gaps = np.diff(client.stats.arrival_times)
+        assert np.allclose(gaps, 0.02)
+
+    def test_poisson_pacing_approximate_count(self, sim, cluster, rng):
+        client = OpenLoopClient(
+            sim,
+            cluster,
+            RateSchedule(500.0),
+            duration=4.0,
+            pacing="poisson",
+            rng=rng.stream("client"),
+        )
+        client.begin()
+        sim.run(until=5.0)
+        assert client.stats.sent == pytest.approx(2000, rel=0.15)
+
+    def test_poisson_requires_rng(self, sim, cluster):
+        with pytest.raises(ValueError):
+            OpenLoopClient(
+                sim, cluster, RateSchedule(1.0), duration=1.0, pacing="poisson"
+            )
+
+    def test_spike_multiplies_arrivals(self, sim, cluster):
+        sched = RateSchedule(100.0, [Spike(0.5, 1.0, 400.0)])
+        client = OpenLoopClient(sim, cluster, sched, duration=1.5)
+        client.begin()
+        sim.run(until=2.5)
+        t = np.asarray(client.stats.arrival_times)
+        in_spike = ((t >= 0.5) & (t < 1.0)).sum()
+        assert in_spike == pytest.approx(200, abs=3)
+
+    def test_open_loop_ignores_completions(self, sim, rng):
+        """Arrivals continue on schedule even when the server is drowning."""
+        app = make_chain_app(1, work=160e6, cores=0.5)  # 200ms service
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=4, placement="pack"), rng
+        )
+        client = OpenLoopClient(sim, cluster, RateSchedule(100.0), duration=1.0)
+        client.begin()
+        sim.run(until=1.0)
+        assert client.stats.sent == 100  # none blocked
+
+
+class TestStats:
+    def test_latencies_recorded(self, sim, cluster):
+        client = OpenLoopClient(sim, cluster, RateSchedule(50.0), duration=1.0)
+        client.begin()
+        sim.run(until=3.0)
+        t, lat = client.stats.completed_arrays()
+        assert len(t) == client.stats.completed == 50
+        assert (lat > 0).all()
+
+    def test_outstanding_counts_incomplete(self, sim, rng):
+        app = make_chain_app(1, work=1.6e9, cores=1.0)  # 1s service time
+        cluster = Cluster(
+            sim, app, ClusterConfig(cores_per_node=4, placement="pack"), rng
+        )
+        client = OpenLoopClient(sim, cluster, RateSchedule(10.0), duration=1.0)
+        client.begin()
+        sim.run(until=1.0)  # stop before anything finishes
+        assert client.stats.outstanding > 0
+
+    def test_on_complete_callback(self, sim, cluster):
+        seen = []
+        client = OpenLoopClient(
+            sim,
+            cluster,
+            RateSchedule(10.0),
+            duration=0.5,
+            on_complete=lambda i, t, l: seen.append(i),
+        )
+        client.begin()
+        sim.run(until=2.0)
+        assert seen == list(range(5))
+
+    def test_double_begin_rejected(self, sim, cluster):
+        client = OpenLoopClient(sim, cluster, RateSchedule(10.0), duration=1.0)
+        client.begin()
+        with pytest.raises(RuntimeError):
+            client.begin()
+
+    def test_invalid_duration_rejected(self, sim, cluster):
+        with pytest.raises(ValueError):
+            OpenLoopClient(sim, cluster, RateSchedule(10.0), duration=0.0)

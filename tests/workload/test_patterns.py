@@ -1,0 +1,74 @@
+"""Unit tests for realistic load patterns."""
+
+import numpy as np
+import pytest
+
+from repro.workload.patterns import diurnal, flash_crowd, from_samples, ramp
+
+
+class TestFromSamples:
+    def test_buckets_become_windows(self):
+        s = from_samples([10.0, 20.0, 5.0], bucket=1.0)
+        assert s.rate_at(0.5) == 10.0
+        assert s.rate_at(1.5) == 20.0
+        assert s.rate_at(99.0) == 5.0  # steady tail
+
+    def test_start_offset(self):
+        s = from_samples([10.0, 5.0], bucket=2.0, start=3.0)
+        assert s.rate_at(3.5) == 10.0
+        assert s.rate_at(6.0) == 5.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            from_samples([], bucket=1.0)
+        with pytest.raises(ValueError):
+            from_samples([1.0, -2.0], bucket=1.0)
+        with pytest.raises(ValueError):
+            from_samples([1.0], bucket=0.0)
+        with pytest.raises(ValueError):
+            from_samples([np.inf], bucket=1.0)
+
+
+class TestDiurnal:
+    def test_oscillates_around_mean(self):
+        s = diurnal(mean_rate=100.0, amplitude=0.4, period=10.0, duration=20.0)
+        t = np.linspace(0.1, 19.9, 200)
+        rates = np.array([s.rate_at(x) for x in t])
+        assert rates.min() >= 100.0 * 0.55
+        assert rates.max() <= 100.0 * 1.45
+        assert rates.mean() == pytest.approx(100.0, rel=0.1)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            diurnal(mean_rate=10.0, noise=0.1)
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            diurnal(mean_rate=10.0, amplitude=1.5)
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        s = flash_crowd(base_rate=100.0, peak_multiplier=3.0, onset=5.0)
+        assert s.rate_at(1.0) == pytest.approx(100.0)  # before onset
+        # Peak plateau reached.
+        assert s.rate_at(5.0 + 0.5 + 1.0) == pytest.approx(300.0, rel=0.05)
+        # Decays back toward base.
+        assert s.rate_at(5.0 + 0.5 + 2.0 + 3.9) < 200.0
+        assert s.rate_at(100.0) == pytest.approx(100.0)
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            flash_crowd(base_rate=1.0, peak_multiplier=0.5, onset=0.0)
+
+
+class TestRamp:
+    def test_monotone(self):
+        s = ramp(start_rate=10.0, end_rate=100.0, t0=0.0, length=10.0)
+        pts = [s.rate_at(x) for x in (0.1, 3.0, 6.0, 9.9)]
+        assert all(a <= b for a, b in zip(pts, pts[1:]))
+        assert s.rate_at(50.0) == pytest.approx(100.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ramp(start_rate=1.0, end_rate=2.0, t0=0.0, length=0.0)
