@@ -74,12 +74,47 @@ def run_cell(
     reps: Optional[int] = None,
     trim: int = 1,
     keep_runs: bool = False,
+    jobs: Optional[int] = None,
 ) -> CellResult:
-    """Run one cell ``reps`` times (seeds ``seed..seed+reps−1``) and trim."""
+    """Run one cell ``reps`` times (seeds ``seed..seed+reps−1``) and trim.
+
+    ``trim`` and ``reps`` interact: each metric drops the ``trim`` best
+    and worst repetitions before averaging, so trimming needs at least
+    ``2·trim + 1`` repetitions to leave anything.  The paper's default
+    (``trim=1``) degrades gracefully — with 1 or 2 reps nothing is
+    trimmed, which keeps the fast ``REPRO_REPS=1`` path meaningful — but
+    a larger explicit ``trim`` that would discard *every* repetition is
+    a configuration error and raises :class:`ValueError` instead of
+    silently averaging untrimmed values.
+
+    ``jobs > 1`` fans the repetitions out across worker processes
+    (:mod:`repro.exec.pool`): the profiling pass runs once in the parent
+    and is shipped to the workers, and results are bit-identical to
+    serial execution (same seeds, same trimmed means).  Requires a
+    picklable config — use :func:`repro.exec.specs.spec` controller
+    factories, not lambdas.
+    """
     n = default_reps() if reps is None else reps
-    results: List[ExperimentResult] = []
-    for i in range(n):
-        results.append(run_experiment(dataclasses.replace(cfg, seed=cfg.seed + i)))
+    if trim < 0:
+        raise ValueError(f"trim must be >= 0, got {trim}")
+    if trim > 1 and n <= 2 * trim:
+        raise ValueError(
+            f"trim={trim} would discard all {n} repetition(s); "
+            f"need reps >= {2 * trim + 1} (set REPRO_REPS or pass reps=)"
+        )
+    n_jobs = 1 if jobs is None else int(jobs)
+    if n_jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if n_jobs > 1 and n > 1:
+        from repro.exec.pool import run_reps
+
+        results: List[ExperimentResult] = run_reps(cfg, n, jobs=n_jobs)
+    else:
+        results = []
+        for i in range(n):
+            results.append(
+                run_experiment(dataclasses.replace(cfg, seed=cfg.seed + i))
+            )
     return CellResult(
         workload=cfg.workload,
         controller=results[0].controller_name,

@@ -22,7 +22,10 @@ This single rule produces all three phenomena the paper's design keys on:
 The implementation is event-driven: job state is lazily advanced on every
 event that can change the sharing rate (arrival, completion, allocation
 or frequency change), and the single pending next-completion event is
-cancelled and re-issued.  All jobs progress at the same rate, so the next
+cancelled and re-issued — unless the winning job and shared rate are
+both unchanged, in which case the pending event is provably still exact
+and is kept (the common case for arrivals under ``c ≥ n`` and for pure
+accounting syncs).  All jobs progress at the same rate, so the next
 finisher is simply the job with minimal remaining work — an O(n) scan,
 with n rarely above a few dozen.
 
@@ -34,6 +37,7 @@ is folded into the same lazy-advance step so it costs nothing extra.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.sim.engine import EventHandle, Simulator
@@ -104,6 +108,13 @@ class Container:
         self._jid = itertools.count()
         self._last_t = sim.now
         self._next: Optional[EventHandle] = None
+        # Winning job + rate behind the pending next-completion event, so
+        # rescheduling can be skipped when neither changed (see
+        # _reschedule): all jobs burn at the same rate, so an unchanged
+        # (winner, rate) pair means the already-scheduled fire time is
+        # still exact.
+        self._next_jid = -1
+        self._next_rate = 0.0
 
         # ---- cumulative integrals (energy / utilization accounting) ----
         self.alloc_core_seconds = 0.0
@@ -224,30 +235,59 @@ class Container:
             job.remaining -= burned
 
     def _reschedule(self) -> None:
-        """Re-issue the next-completion event after any state change."""
-        if self._next is not None:
-            self._next.cancel()
-            self._next = None
+        """(Re-)issue the next-completion event after any state change.
+
+        Cheap path: when a pending event exists and neither the winning
+        job nor the shared progress rate changed (e.g. a new arrival with
+        more work than the current winner while ``c ≥ n`` keeps the rate
+        at ``f``, or a pure accounting :meth:`sync`), the already-scheduled
+        event is still exact — keep it instead of cancel + re-push, which
+        otherwise dominates heap churn under load.
+        """
+        jobs = self._jobs
         # Fire completions that are already due (within epsilon).
         finished: List[_Job] = [
-            j for j in self._jobs.values() if j.remaining <= _EPS_CYCLES
+            j for j in jobs.values() if j.remaining <= _EPS_CYCLES
         ]
         if finished:
             for j in finished:
-                del self._jobs[j.jid]
+                del jobs[j.jid]
             self.completed_jobs += len(finished)
             # Callbacks may re-enter submit()/set_cores(); schedule the
             # continuation work as zero-delay events to keep a single,
             # predictable re-entrancy discipline.
             for j in finished:
                 self.sim.schedule(0.0, j.done)
-        if not self._jobs:
+        pending = self._next
+        if not jobs:
+            if pending is not None:
+                pending.cancel()
+                self._next = None
             return
-        min_rem = min(j.remaining for j in self._jobs.values())
+        winner = None
+        min_rem = math.inf
+        for j in jobs.values():
+            if j.remaining < min_rem:
+                min_rem = j.remaining
+                winner = j
         rate = self.rate_per_job
         if rate <= 0:  # pragma: no cover - cores/freq are validated positive
+            if pending is not None:
+                pending.cancel()
+                self._next = None
             return
+        if (
+            pending is not None
+            and pending.active
+            and self._next_jid == winner.jid
+            and self._next_rate == rate
+        ):
+            return  # the pending event's fire time is unchanged
+        if pending is not None:
+            pending.cancel()
         self._next = self.sim.schedule(min_rem / rate, self._on_tick)
+        self._next_jid = winner.jid
+        self._next_rate = rate
 
     def _on_tick(self) -> None:
         self._next = None

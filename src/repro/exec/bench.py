@@ -1,0 +1,186 @@
+"""Machine-tracked performance benchmark → ``BENCH_exec.json``.
+
+Two measurements, deliberately simple so their trajectory is comparable
+across PRs:
+
+* **engine** — raw event-loop throughput (events/second) on a synthetic
+  workload of self-rescheduling timers plus cancel churn, exercising the
+  heap's lazy-deletion path the way ``Container`` does;
+* **cell** — wall-clock seconds for one standard experiment cell
+  (CHAIN × 1.75× surges × SurgeGuard), i.e. the unit of work the
+  repetition protocol fans out.
+
+Run ``python -m repro.exec.bench`` from the repo root; it writes
+``BENCH_exec.json`` there (override with ``--out``).  CI runs the smoke
+variant (``tests/exec/test_bench.py``) which asserts a conservative
+events/second floor so catastrophic engine regressions fail the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Iterable, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["bench_cell", "bench_engine", "main", "run_benchmarks"]
+
+#: Default synthetic event count for the engine measurement.
+DEFAULT_EVENTS = 300_000
+
+#: Conservative floor asserted by the CI smoke test (events/second).
+#: The engine sustains well over 10× this on an idle core; dipping under
+#: the floor means the event loop itself regressed catastrophically.
+ENGINE_FLOOR_EPS = 25_000.0
+
+
+def bench_engine(n_events: int = DEFAULT_EVENTS, fanout: int = 64) -> dict:
+    """Measure event-loop throughput on a synthetic timer workload.
+
+    ``fanout`` timers each reschedule themselves on a fixed small delay;
+    every firing also schedules a decoy event and cancels the previous
+    decoy, so roughly half of all heap entries are lazily cancelled —
+    the same churn profile ``Container`` rescheduling produces.
+    """
+    if n_events < 1:
+        raise ValueError("n_events must be >= 1")
+    sim = Simulator()
+    decoys = [None] * fanout
+
+    def tick(slot: int, delay: float) -> None:
+        old = decoys[slot]
+        if old is not None:
+            old.cancel()
+        decoys[slot] = sim.schedule(delay * 7.0, _noop)
+        sim.schedule(delay, tick, slot, delay)
+
+    for i in range(fanout):
+        sim.schedule(0.0, tick, i, 1e-4 * (1 + i % 7))
+
+    t0 = time.perf_counter()
+    sim.run(max_events=n_events)
+    dt = time.perf_counter() - t0
+    fired = sim.events_fired
+    return {
+        "events": fired,
+        "seconds": dt,
+        "events_per_sec": fired / dt if dt > 0 else float("inf"),
+        "pending_at_end": sim.events_pending,
+    }
+
+
+def _noop() -> None:
+    pass
+
+
+def bench_cell(
+    *, reps: int = 1, jobs: int = 1, workload: str = "chain"
+) -> dict:
+    """Time one standard experiment cell (profiling pass included)."""
+    from repro.analysis.aggregate import run_cell
+    from repro.exec.specs import spec
+    from repro.experiments.harness import ExperimentConfig, clear_profile_cache
+
+    cfg = ExperimentConfig(
+        workload=workload,
+        controller_factory=spec("surgeguard"),
+        spike_magnitude=1.75,
+        spike_len=1.0,
+        spike_period=5.0,
+        duration=6.0,
+        warmup=2.0,
+        profile_duration=2.0,
+        seed=1,
+    )
+    clear_profile_cache()  # cold, comparable across runs
+    t0 = time.perf_counter()
+    cell = run_cell(cfg, reps=reps, jobs=jobs)
+    dt = time.perf_counter() - t0
+    return {
+        "workload": workload,
+        "controller": cell.controller,
+        "reps": reps,
+        "jobs": jobs,
+        "seconds": dt,
+        "seconds_per_rep": dt / reps,
+        "violation_volume": cell.violation_volume,
+    }
+
+
+def run_benchmarks(
+    *,
+    n_events: int = DEFAULT_EVENTS,
+    reps: int = 1,
+    jobs: int = 1,
+    skip_cell: bool = False,
+) -> dict:
+    """Run both measurements and return the report dict."""
+    report = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "engine": bench_engine(n_events),
+    }
+    if not skip_cell:
+        report["cell"] = bench_cell(reps=reps, jobs=jobs)
+    return report
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.bench",
+        description="Benchmark the engine + a standard cell; write BENCH_exec.json.",
+    )
+    parser.add_argument(
+        "--events", type=int, default=DEFAULT_EVENTS,
+        help=f"synthetic engine events (default {DEFAULT_EVENTS})",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=1, help="cell repetitions (default 1)"
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the cell reps (default 1)",
+    )
+    parser.add_argument(
+        "--skip-cell", action="store_true", help="engine measurement only"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_exec.json",
+        help="output path (default: BENCH_exec.json in the current directory)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    report = run_benchmarks(
+        n_events=args.events,
+        reps=args.reps,
+        jobs=args.jobs,
+        skip_cell=args.skip_cell,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    eng = report["engine"]
+    print(f"engine: {eng['events']} events in {eng['seconds']:.3f}s "
+          f"= {eng['events_per_sec']:,.0f} ev/s")
+    cell = report.get("cell")
+    if cell:
+        print(f"cell:   {cell['workload']}×{cell['controller']} "
+              f"reps={cell['reps']} jobs={cell['jobs']} "
+              f"→ {cell['seconds']:.2f}s ({cell['seconds_per_rep']:.2f}s/rep)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

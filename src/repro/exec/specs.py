@@ -1,0 +1,138 @@
+"""Named, picklable controller specifications.
+
+:class:`repro.experiments.harness.ExperimentConfig` historically carried
+a bare ``Callable[[], Controller]`` factory.  Closures and lambdas do
+not pickle, which blocks fanning experiment repetitions out across a
+:class:`~concurrent.futures.ProcessPoolExecutor` (`repro.exec.pool`).
+
+A :class:`ControllerSpec` replaces the closure with *data*: a registry
+name plus a frozen tuple of keyword parameters.  The spec is itself a
+zero-argument callable, so it drops into ``controller_factory=`` slots
+unchanged — but it pickles, compares by value, and is resolved **inside
+the worker process** against the registry below, so the parent never
+has to ship controller object graphs.
+
+>>> spec("surgeguard", firstresponder=False)()   # doctest: +ELLIPSIS
+<repro.core.surgeguard.SurgeGuardController object at ...>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.controllers.base import Controller
+from repro.controllers.caladan import CaladanController, CaladanParams
+from repro.controllers.horizontal import HorizontalAutoscaler, HpaParams
+from repro.controllers.ml_central import CentralizedMLController, MLParams
+from repro.controllers.null import NullController
+from repro.controllers.parties import PartiesController, PartiesParams
+
+__all__ = ["ControllerSpec", "available_specs", "register_controller", "spec"]
+
+
+#: name -> builder taking the spec's keyword params.
+_REGISTRY: Dict[str, Callable[..., Controller]] = {}
+
+
+def register_controller(name: str, builder: Callable[..., Controller]) -> None:
+    """Register ``builder`` under ``name`` (idempotent re-registration
+    with the same builder is allowed; silently replacing a different one
+    is not — that would make specs resolve differently across processes).
+    """
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not builder:
+        raise ValueError(f"controller spec {name!r} already registered")
+    _REGISTRY[name] = builder
+
+
+def available_specs() -> Tuple[str, ...]:
+    """Registered spec names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """A named controller recipe: registry key + keyword parameters.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so specs are
+    hashable and order-insensitive; values must themselves be picklable
+    (scalars in practice).  Calling the spec builds a fresh controller.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def __call__(self) -> Controller:
+        try:
+            builder = _REGISTRY[self.name]
+        except KeyError:
+            raise ValueError(
+                f"unknown controller spec {self.name!r}; "
+                f"known: {', '.join(available_specs())}"
+            ) from None
+        return builder(**dict(self.params))
+
+
+def spec(name: str, **params: Any) -> ControllerSpec:
+    """Build a :class:`ControllerSpec`, validating the name eagerly."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown controller spec {name!r}; known: {', '.join(available_specs())}"
+        )
+    return ControllerSpec(name, tuple(sorted(params.items())))
+
+
+# --------------------------------------------------------------------------
+# Built-in specs.  Params route into each controller's parameter dataclass
+# (or SurgeGuardConfig), so any knob those expose is addressable by name.
+# --------------------------------------------------------------------------
+
+
+def _build_null() -> Controller:
+    return NullController()
+
+
+def _build_parties(**kw: Any) -> Controller:
+    return PartiesController(PartiesParams(**kw)) if kw else PartiesController()
+
+
+def _build_caladan(**kw: Any) -> Controller:
+    return CaladanController(CaladanParams(**kw)) if kw else CaladanController()
+
+
+def _build_ml_central(**kw: Any) -> Controller:
+    return (
+        CentralizedMLController(MLParams(**kw))
+        if kw
+        else CentralizedMLController()
+    )
+
+
+def _build_hpa(**kw: Any) -> Controller:
+    return HorizontalAutoscaler(HpaParams(**kw)) if kw else HorizontalAutoscaler()
+
+
+def _build_surgeguard(**kw: Any) -> Controller:
+    from repro.core import SurgeGuardConfig, SurgeGuardController
+
+    return SurgeGuardController(SurgeGuardConfig(**kw))
+
+
+def _build_escalator(**kw: Any) -> Controller:
+    """SurgeGuard slow path only (FirstResponder off) — Fig. 10/15 arms."""
+    from repro.core import SurgeGuardConfig, SurgeGuardController
+
+    return SurgeGuardController(SurgeGuardConfig(firstresponder=False, **kw))
+
+
+register_controller("null", _build_null)
+register_controller("parties", _build_parties)
+register_controller("caladan", _build_caladan)
+register_controller("ml-central", _build_ml_central)
+register_controller("hpa", _build_hpa)
+register_controller("surgeguard", _build_surgeguard)
+register_controller("escalator", _build_escalator)

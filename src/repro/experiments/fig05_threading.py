@@ -21,8 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.controllers.parties import PartiesController, PartiesParams
-from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig, run_experiment
 from repro.experiments.scale import current_scale
 from repro.metrics.timeseries import StepSeries
@@ -91,8 +90,8 @@ def run_fig05(pool_size: int = 4) -> List[Fig05Row]:
     for model, pool in (("conn-per-request", None), ("fixed-pool", pool_size)):
         app = two_service_app(pool)
         for label, factory in (
-            ("parties", lambda: PartiesController(PartiesParams(interval=0.1))),
-            ("surgeguard", lambda: SurgeGuardController(SurgeGuardConfig(firstresponder=False))),
+            ("parties", spec("parties", interval=0.1)),
+            ("surgeguard", spec("escalator")),
         ):
             cfg = ExperimentConfig(
                 workload=f"fig05-{model}",

@@ -22,7 +22,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig, run_experiment
 from repro.experiments.scale import current_scale
 
@@ -79,11 +79,8 @@ def run_fig10(
     rows: List[Fig10Row] = []
     for surge_len in surge_lengths:
         for label, factory in (
-            (
-                "escalator",
-                lambda: SurgeGuardController(SurgeGuardConfig(firstresponder=False)),
-            ),
-            ("surgeguard", SurgeGuardController),
+            ("escalator", spec("escalator")),
+            ("surgeguard", spec("surgeguard")),
         ):
             res = run_experiment(_config(surge_len, factory))
             rows.append(

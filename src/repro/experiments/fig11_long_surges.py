@@ -16,9 +16,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.aggregate import CellResult, run_cell
 from repro.analysis.normalize import NormalizedCell, normalize_cells
-from repro.controllers.caladan import CaladanController
-from repro.controllers.parties import PartiesController
-from repro.core import SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig
 from repro.experiments.scale import current_scale
 
@@ -33,9 +31,9 @@ WORKLOAD_KEYS = (
 )
 MAGNITUDES = (1.25, 1.5, 1.75)
 CONTROLLERS: Tuple[Tuple[str, Callable], ...] = (
-    ("parties", PartiesController),
-    ("caladan", CaladanController),
-    ("surgeguard", SurgeGuardController),
+    ("parties", spec("parties")),
+    ("caladan", spec("caladan")),
+    ("surgeguard", spec("surgeguard")),
 )
 
 

@@ -20,9 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.aggregate import CellResult, run_cell
-from repro.controllers.caladan import CaladanController
-from repro.controllers.parties import PartiesController
-from repro.core import SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig
 from repro.experiments.scale import current_scale
 
@@ -54,9 +52,9 @@ def run_fig12(
     sc = current_scale()
     out: List[Fig12Cell] = []
     controllers: Tuple[Tuple[str, Callable], ...] = (
-        ("parties", PartiesController),
-        ("caladan", CaladanController),
-        ("surgeguard", SurgeGuardController),
+        ("parties", spec("parties")),
+        ("caladan", spec("caladan")),
+        ("surgeguard", spec("surgeguard")),
     )
     for workload in workloads:
         for surge_len in durations:

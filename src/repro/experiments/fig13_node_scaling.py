@@ -24,9 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.aggregate import CellResult, run_cell
-from repro.controllers.caladan import CaladanController
-from repro.controllers.parties import PartiesController
-from repro.core import SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig
 from repro.experiments.scale import current_scale
 from repro.services.registry import get_workload, node_budget
@@ -62,9 +60,9 @@ def run_fig13(
     app = get_workload(workload).build()
     per_node = node_budget(app, n_nodes=1)
     controllers: Tuple[Tuple[str, Callable], ...] = (
-        ("parties", PartiesController),
-        ("caladan", CaladanController),
-        ("surgeguard", SurgeGuardController),
+        ("parties", spec("parties")),
+        ("caladan", spec("caladan")),
+        ("surgeguard", spec("surgeguard")),
     )
     out: List[Fig13Cell] = []
     for n_nodes in node_counts:

@@ -21,9 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.controllers.caladan import CaladanController
-from repro.controllers.parties import PartiesController
-from repro.core import SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig, run_experiment
 from repro.experiments.scale import current_scale
 from repro.metrics.timeseries import StepSeries
@@ -78,9 +76,9 @@ def run_fig14(workload: str = "readUserTimeline") -> List[Fig14Result]:
     surge_end = surge_start + SURGE_LEN
     results: List[Fig14Result] = []
     for label, factory in (
-        ("parties", PartiesController),
-        ("caladan", CaladanController),
-        ("surgeguard", SurgeGuardController),
+        ("parties", spec("parties")),
+        ("caladan", spec("caladan")),
+        ("surgeguard", spec("surgeguard")),
     ):
         cfg = ExperimentConfig(
             workload=workload,

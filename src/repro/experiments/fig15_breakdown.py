@@ -28,8 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.aggregate import CellResult, run_cell
-from repro.controllers.parties import PartiesController
-from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.exec.specs import ControllerSpec, spec
 from repro.experiments.harness import ExperimentConfig
 from repro.experiments.scale import current_scale
 
@@ -42,22 +41,17 @@ SURGE_MAG = 1.75
 _ABLATION_INTERVAL = 0.5
 
 
-def _arm(new_metrics: bool, sensitivity: bool) -> Callable:
-    def factory() -> SurgeGuardController:
-        return SurgeGuardController(
-            SurgeGuardConfig(
-                firstresponder=False,
-                use_new_metrics=new_metrics,
-                use_sensitivity=sensitivity,
-                escalator_interval=_ABLATION_INTERVAL,
-            )
-        )
-
-    return factory
+def _arm(new_metrics: bool, sensitivity: bool) -> ControllerSpec:
+    return spec(
+        "escalator",
+        use_new_metrics=new_metrics,
+        use_sensitivity=sensitivity,
+        escalator_interval=_ABLATION_INTERVAL,
+    )
 
 
 ARMS: Tuple[Tuple[str, Callable], ...] = (
-    ("parties", PartiesController),
+    ("parties", spec("parties")),
     ("+metrics", _arm(new_metrics=True, sensitivity=False)),
     ("+sensitivity", _arm(new_metrics=False, sensitivity=True)),
     ("escalator", _arm(new_metrics=True, sensitivity=True)),

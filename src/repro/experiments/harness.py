@@ -51,7 +51,12 @@ class ExperimentConfig:
 
     #: Registry key ("chain", "readUserTimeline", ...).
     workload: str
-    #: Builds a *fresh* controller per run.
+    #: Builds a *fresh* controller per run.  Prefer a named, picklable
+    #: :class:`repro.exec.specs.ControllerSpec` (itself a zero-arg
+    #: callable, resolved against the spec registry inside worker
+    #: processes) — required for parallel execution via
+    #: ``run_cell(jobs>1)``.  Bare callables remain accepted for
+    #: in-process use (tests, one-off oracles with rich arguments).
     controller_factory: Callable[[], Controller] = NullController
     #: Custom application (Fig. 4/5 micro-topologies); overrides
     #: ``workload`` lookup when set, in which case ``base_rate`` is

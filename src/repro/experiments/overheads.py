@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import SurgeGuardConfig, SurgeGuardController
+from repro.core import SurgeGuardConfig
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig, run_experiment
 from repro.experiments.scale import current_scale
 
@@ -70,17 +71,10 @@ def run_overheads(workload: str = "chain") -> OverheadReport:
 
     sg_cfg = SurgeGuardConfig()
     with_fr = run_experiment(
-        dataclasses.replace(
-            cfg_base, controller_factory=lambda: SurgeGuardController(sg_cfg)
-        )
+        dataclasses.replace(cfg_base, controller_factory=spec("surgeguard"))
     )
     without_fr = run_experiment(
-        dataclasses.replace(
-            cfg_base,
-            controller_factory=lambda: SurgeGuardController(
-                SurgeGuardConfig(firstresponder=False)
-            ),
-        )
+        dataclasses.replace(cfg_base, controller_factory=spec("escalator"))
     )
     elapsed = cfg_base.duration + cfg_base.warmup + cfg_base.drain
     busy = (

@@ -1,30 +1,58 @@
 """Regenerate the entire evaluation from the command line.
 
-``python -m repro.experiments.run_all [--fast] [--only fig11,fig14] [--out results/]``
+``python -m repro.experiments.run_all [--fast] [--only fig11,fig14]
+[--out results/] [--jobs N]``
 
 Runs every table/figure driver, prints each one's paper-shaped rows, and
 writes machine-readable CSVs under ``--out``.  This is the artifact's
 "analysis step", automated (the original artifact does it manually).
+
+The figure drivers are mutually independent, so with ``--jobs N``
+(default: every core) up to ``N`` of them run concurrently in worker
+processes; each worker's stdout is captured and replayed in submission
+order, so the output reads identically to a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import csv
 import dataclasses
+import io
 import os
 import sys
 import time
-from typing import Callable, Dict, Iterable, List
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
+def _flat_value(v):
+    """CSV-friendly scalarization of one field value.
+
+    Scalars pass through; sequences of scalars are flattened to a
+    ``;``-joined string; arrays are summarized by shape; anything else
+    is stringified.  Nothing is silently dropped.
+    """
+    if isinstance(v, (int, float, str, bool)) or v is None:
+        return v
+    if isinstance(v, (tuple, list)):
+        if all(isinstance(x, (int, float, str, bool)) for x in v):
+            return ";".join(_fmt(x) for x in v)
+        return f"<{type(v).__name__} len={len(v)}>"
+    shape = getattr(v, "shape", None)  # ndarray-likes: shape, not payload
+    if shape is not None:
+        return f"<array shape={tuple(shape)}>"
+    return str(v)
+
+
 def _rows_of(result) -> List[dict]:
-    """Best-effort conversion of a driver result to flat dict rows."""
+    """Conversion of a driver result to flat dict rows (CSV export)."""
     if isinstance(result, dict):
         return [
-            {"key": k, "value": v} for k, v in result.items()
+            {"key": k, "value": _flat_value(v)} for k, v in result.items()
         ]
     rows = []
     for item in result:
@@ -32,16 +60,16 @@ def _rows_of(result) -> List[dict]:
             d = {}
             for f in dataclasses.fields(item):
                 v = getattr(item, f.name)
-                if isinstance(v, (int, float, str, bool)) or v is None:
-                    d[f.name] = v
-                elif dataclasses.is_dataclass(v):
+                if dataclasses.is_dataclass(v):
                     for sub in dataclasses.fields(v):
-                        sv = getattr(v, sub.name)
-                        if isinstance(sv, (int, float, str, bool)):
-                            d[f"{f.name}.{sub.name}"] = sv
+                        d[f"{f.name}.{sub.name}"] = _flat_value(
+                            getattr(v, sub.name)
+                        )
+                else:
+                    d[f.name] = _flat_value(v)
             rows.append(d)
         else:
-            rows.append({"value": item})
+            rows.append({"value": _flat_value(item)})
     return rows
 
 
@@ -102,6 +130,35 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+def _run_captured(name: str, out_dir: Optional[str]) -> Tuple[str, str, float]:
+    """Worker entry: run one driver with stdout captured.
+
+    Looked up by name so only strings cross the process boundary; the
+    worker inherits ``REPRO_FAST``/``REPRO_REPS`` through the environment.
+    """
+    t0 = time.time()
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        EXPERIMENTS[name](out_dir, name)
+    return name, buf.getvalue(), time.time() - t0
+
+
+def _run_parallel(selected: List[str], out_dir: Optional[str], jobs: int) -> None:
+    """Fan independent drivers out across ``jobs`` worker processes.
+
+    Output is replayed in submission order as results arrive, so logs
+    stay deterministic while the wall clock shrinks to roughly the
+    longest driver (plus queueing at ``jobs`` slots).
+    """
+    with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
+        futures = [pool.submit(_run_captured, name, out_dir) for name in selected]
+        for fut in futures:
+            name, text, dt = fut.result()
+            print(f"\n===== {name} =====")
+            sys.stdout.write(text)
+            print(f"  [{name} done in {dt:.0f}s]")
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.run_all",
@@ -119,6 +176,13 @@ def main(argv: Iterable[str] | None = None) -> int:
         "--out", default=None, help="directory for CSV exports (optional)"
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="concurrent figure drivers (default: all CPU cores)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
@@ -132,6 +196,10 @@ def main(argv: Iterable[str] | None = None) -> int:
     if args.out:
         os.makedirs(args.out, exist_ok=True)
 
+    jobs = (os.cpu_count() or 1) if args.jobs is None else args.jobs
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+
     selected = list(EXPERIMENTS)
     if args.only:
         selected = [s.strip() for s in args.only.split(",") if s.strip()]
@@ -140,11 +208,14 @@ def main(argv: Iterable[str] | None = None) -> int:
             parser.error(f"unknown experiment(s): {unknown}; see --list")
 
     t_start = time.time()
-    for name in selected:
-        print(f"\n===== {name} =====")
-        t0 = time.time()
-        EXPERIMENTS[name](args.out, name)
-        print(f"  [{name} done in {time.time() - t0:.0f}s]")
+    if jobs > 1 and len(selected) > 1:
+        _run_parallel(selected, args.out, jobs)
+    else:
+        for name in selected:
+            print(f"\n===== {name} =====")
+            t0 = time.time()
+            EXPERIMENTS[name](args.out, name)
+            print(f"  [{name} done in {time.time() - t0:.0f}s]")
     print(f"\nall done in {time.time() - t_start:.0f}s")
     return 0
 

@@ -13,10 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.controllers.caladan import CaladanController
-from repro.controllers.ml_central import CentralizedMLController
-from repro.controllers.parties import PartiesController
-from repro.core import SurgeGuardController
+from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig, run_experiment
 from repro.experiments.scale import current_scale
 
@@ -40,10 +37,10 @@ def run_table1(workload: str = "chain") -> List[Table1Row]:
     rows: List[Table1Row] = []
     elapsed = 4.0
     for label, factory, aware, paper in (
-        ("ml-central", CentralizedMLController, True, ">1s (Sinan/Sage)"),
-        ("parties", PartiesController, False, "500ms"),
-        ("caladan", CaladanController, False, "5-20us (custom stack)"),
-        ("surgeguard", SurgeGuardController, True, "~0.2ms"),
+        ("ml-central", spec("ml-central"), True, ">1s (Sinan/Sage)"),
+        ("parties", spec("parties"), False, "500ms"),
+        ("caladan", spec("caladan"), False, "5-20us (custom stack)"),
+        ("surgeguard", spec("surgeguard"), True, "~0.2ms"),
     ):
         cfg = ExperimentConfig(
             workload=workload,

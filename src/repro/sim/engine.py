@@ -37,7 +37,7 @@ class EventHandle:
     only ever call :meth:`cancel` and read :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "owner")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -45,14 +45,20 @@ class EventHandle:
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        #: The owning :class:`Simulator`, so cancellation can keep its
+        #: lazily-cancelled-entry count (heap compaction trigger) honest.
+        self.owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Cancel the event.  Idempotent; cancelling a fired event is a no-op."""
+        if not self.cancelled and self.fn is not None and self.owner is not None:
+            self.owner._note_cancel()
         self.cancelled = True
         # Drop references so a cancelled handle retained by user code does not
         # keep a whole object graph alive until the heap drains.
         self.fn = None
         self.args = ()
+        self.owner = None
 
     @property
     def active(self) -> bool:
@@ -86,7 +92,19 @@ class Simulator:
     ['b', 'a']
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_fired_count", "trace_hook")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_fired_count",
+        "_cancelled_pending",
+        "trace_hook",
+    )
+
+    #: Compact the heap once this many lazily-cancelled entries pile up
+    #: *and* they outnumber the live ones (see :meth:`_note_cancel`).
+    _COMPACT_MIN = 512
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
@@ -94,6 +112,7 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._fired_count = 0
+        self._cancelled_pending = 0
         #: optional callable ``(time, fn, args)`` invoked before each event;
         #: used by tests and the debugging tracer, ``None`` in production runs.
         self.trace_hook: Optional[Callable[[float, Callable, tuple], None]] = None
@@ -132,9 +151,29 @@ class Simulator:
                 f"cannot schedule at t={time!r} (now={self._now!r})"
             )
         handle = EventHandle(time, self._seq, fn, args)
+        handle.owner = self
         self._seq += 1
         heapq.heappush(self._heap, handle)
         return handle
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`.
+
+        Once lazily-cancelled entries both exceed a fixed floor and make
+        up over half the heap, rebuild it in place without them: the
+        container rescheduling pattern can otherwise leave the heap
+        dominated by dead entries, making every push/pop pay log(dead).
+        """
+        self._cancelled_pending += 1
+        heap = self._heap
+        if (
+            self._cancelled_pending >= self._COMPACT_MIN
+            and self._cancelled_pending * 2 > len(heap)
+        ):
+            # In-place so loops holding a reference to the list stay valid.
+            heap[:] = [h for h in heap if h.fn is not None]
+            heapq.heapify(heap)
+            self._cancelled_pending = 0
 
     # ---------------------------------------------------------------- running
     def step(self) -> bool:
@@ -142,11 +181,14 @@ class Simulator:
         heap = self._heap
         while heap:
             handle = heapq.heappop(heap)
-            if handle.cancelled or handle.fn is None:
+            if handle.fn is None:  # fired is impossible here; this means cancelled
+                if handle.cancelled:
+                    self._cancelled_pending -= 1
                 continue
             self._now = handle.time
             fn, args = handle.fn, handle.args
             handle.fn = None  # mark fired
+            handle.owner = None
             if self.trace_hook is not None:
                 self.trace_hook(self._now, fn, args)
             self._fired_count += 1
@@ -160,21 +202,36 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until`` on
         return (even if the last event fired earlier), so back-to-back
         ``run(until=...)`` calls behave like a continuous timeline.
+
+        This is the hot loop of every simulation: the head peek, pop, and
+        dispatch are inlined (rather than delegating to :meth:`step`) so
+        each fired event costs one heappop plus the handler call.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         budget = math.inf if max_events is None else max_events
         heap = self._heap
+        heappop = heapq.heappop
         try:
             while heap and budget > 0:
                 head = heap[0]
-                if head.cancelled or head.fn is None:
-                    heapq.heappop(heap)
+                if head.fn is None:  # lazily-cancelled entry: drop and rescan
+                    heappop(heap)
+                    if head.cancelled:
+                        self._cancelled_pending -= 1
                     continue
                 if until is not None and head.time > until:
                     break
-                self.step()
+                heappop(heap)
+                self._now = head.time
+                fn, args = head.fn, head.args
+                head.fn = None  # mark fired
+                head.owner = None
+                if self.trace_hook is not None:
+                    self.trace_hook(self._now, fn, args)
+                self._fired_count += 1
+                fn(*args)
                 budget -= 1
         finally:
             self._running = False
@@ -184,3 +241,4 @@ class Simulator:
     def drain(self) -> None:
         """Discard all pending events without running them."""
         self._heap.clear()
+        self._cancelled_pending = 0

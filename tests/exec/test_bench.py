@@ -1,0 +1,48 @@
+"""Smoke tests for the engine microbenchmark (`repro.exec.bench`).
+
+The events/second floor is deliberately conservative — an order of
+magnitude below what an idle core sustains — so it only trips on
+catastrophic engine regressions (accidental O(n) scans in the hot loop,
+runaway heap growth), not on CI noise.
+"""
+
+import json
+
+import pytest
+
+from repro.exec.bench import ENGINE_FLOOR_EPS, bench_engine, main, run_benchmarks
+
+
+class TestBenchEngine:
+    def test_reports_floor_events_per_sec(self):
+        result = bench_engine(50_000)
+        assert result["events"] == 50_000
+        assert result["events_per_sec"] >= ENGINE_FLOOR_EPS
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            bench_engine(0)
+
+    def test_lazy_cancel_churn_does_not_accumulate(self):
+        # Half the scheduled events are cancelled decoys; compaction plus
+        # pop-time skipping must keep the pending heap near the live set.
+        result = bench_engine(50_000, fanout=32)
+        assert result["pending_at_end"] < 5_000
+
+
+class TestReport:
+    def test_run_benchmarks_shape(self):
+        report = run_benchmarks(n_events=20_000, skip_cell=True)
+        assert report["schema"] == 1
+        assert report["machine"]["cpu_count"] >= 1
+        assert report["engine"]["events_per_sec"] > 0
+        assert "cell" not in report
+
+    def test_cli_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_exec.json"
+        rc = main(["--events", "20000", "--skip-cell", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["engine"]["events"] == 20_000
+        assert report["engine"]["events_per_sec"] >= ENGINE_FLOOR_EPS
+        assert "engine:" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for the named controller-spec registry."""
+
+import pickle
+
+import pytest
+
+from repro.controllers.parties import PartiesController
+from repro.core.surgeguard import SurgeGuardController
+from repro.exec.specs import (
+    ControllerSpec,
+    available_specs,
+    register_controller,
+    spec,
+)
+
+
+class TestSpecConstruction:
+    def test_unknown_name_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown controller spec"):
+            spec("no-such-controller")
+
+    def test_known_names_present(self):
+        names = available_specs()
+        for expected in ("parties", "caladan", "surgeguard", "escalator", "null"):
+            assert expected in names
+
+    def test_params_are_order_insensitive(self):
+        a = spec("parties", interval=0.25, core_step=2.0)
+        b = spec("parties", core_step=2.0, interval=0.25)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unregistered_spec_fails_at_build_time(self):
+        s = ControllerSpec("ghost")
+        with pytest.raises(ValueError, match="unknown controller spec"):
+            s()
+
+
+class TestSpecBuild:
+    def test_builds_fresh_instances(self):
+        s = spec("parties")
+        a, b = s(), s()
+        assert isinstance(a, PartiesController)
+        assert a is not b
+
+    def test_params_route_into_controller(self):
+        ctrl = spec("parties", interval=0.25)()
+        assert ctrl.params.interval == 0.25
+
+    def test_escalator_is_surgeguard_without_fast_path(self):
+        ctrl = spec("escalator")()
+        assert isinstance(ctrl, SurgeGuardController)
+        assert ctrl.config.firstresponder is False
+
+    def test_surgeguard_params_route_into_config(self):
+        ctrl = spec("surgeguard", escalator_interval=0.5, alpha=0.7)()
+        assert ctrl.config.escalator_interval == 0.5
+        assert ctrl.config.alpha == 0.7
+
+    def test_bad_param_name_raises_at_build(self):
+        s = spec("surgeguard", not_a_knob=1)
+        with pytest.raises(TypeError):
+            s()
+
+
+class TestSpecPickling:
+    def test_roundtrip_preserves_identity(self):
+        s = spec("surgeguard", firstresponder=False)
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+        assert clone().config.firstresponder is False
+
+    def test_spec_inside_experiment_config_pickles(self):
+        from repro.experiments.harness import ExperimentConfig
+
+        cfg = ExperimentConfig(
+            workload="chain", controller_factory=spec("parties")
+        )
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert isinstance(clone.controller_factory(), PartiesController)
+
+
+class TestRegistry:
+    def test_conflicting_reregistration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_controller("parties", lambda: PartiesController())
+
+    def test_same_builder_reregistration_is_idempotent(self):
+        from repro.exec import specs as mod
+
+        register_controller("parties", mod._build_parties)  # no raise
