@@ -11,11 +11,32 @@ the delivery latency, and is then handed to the destination endpoint.
 The abstract says SurgeGuard guards QoS "during surges in load and
 network latency"; :meth:`Network.add_latency_surge` injects the latter —
 an additive delay applied to packets sent inside a time window.
+
+**Fast lane.**  The per-packet path is the hottest code in the whole
+simulation (one ``send`` + one delivery per RPC hop), so it avoids
+re-deriving anything that is invariant per (src, dst) pair or per time
+window:
+
+* **Route cache** — endpoints register exactly once (duplicates are
+  rejected), so the (base latency, destination node, handler) triple of
+  a pair never changes after first use and is cached in a flat dict.
+* **Batched jitter** — uniform draws are pre-drawn in blocks of
+  :data:`JITTER_BLOCK` via ``rng.random(n)`` and consumed by index.
+  numpy Generators produce bit-identical streams whether drawn one at a
+  time or in blocks, so results match the unbatched path exactly.
+* **Surge timeline** — surges are kept sorted by start; the currently
+  active extra and the timestamp until which it is valid are cached, so
+  the common case is one comparison.  Expired windows are pruned (sim
+  time is monotonic on the send path), so long runs never scan dead
+  surges.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import insort
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -27,6 +48,9 @@ from repro.cluster.packet import RpcPacket
 __all__ = ["Network", "NetworkConfig"]
 
 Endpoint = Callable[[RpcPacket], None]
+
+#: Uniform jitter draws pre-drawn per ``rng.random(n)`` refill.
+JITTER_BLOCK = 1024
 
 
 @dataclass(frozen=True)
@@ -85,6 +109,17 @@ class Network:
         self._observers: List[Endpoint] = []
         self.packets_sent = 0
         self.packets_delivered = 0
+        # (src, dst) -> (base latency, dst node, handler); safe to cache
+        # forever because registration is once-only.
+        self._routes: Dict[Tuple[str, str], Tuple[float, Optional[Node], Endpoint]] = {}
+        # Pre-drawn U(0,1) jitter block, consumed by index.
+        self._jitter_block: List[float] = []
+        self._jitter_idx = 0
+        self._jitter_on = rng is not None and config.jitter > 0
+        # Active-surge cache: total extra valid for t in [_surge_from, _surge_until).
+        self._surge_active = 0.0
+        self._surge_from = -math.inf
+        self._surge_until = math.inf
 
     def add_observer(self, fn: Endpoint) -> None:
         """Register a read-only tap invoked on *every* delivery —
@@ -104,27 +139,88 @@ class Network:
         """The node hosting ``name`` (``None`` for external endpoints)."""
         return self._endpoints[name][0]
 
-    # -------------------------------------------------------------- surges
-    def add_latency_surge(self, start: float, end: float, extra: float) -> None:
-        """Add ``extra`` seconds to every packet sent in ``[start, end)``."""
-        if end <= start or extra < 0:
-            raise ValueError("invalid latency surge window")
-        self._surges.append(_LatencySurge(start, end, extra))
-
-    def _surge_extra(self, t: float) -> float:
-        return sum(s.extra for s in self._surges if s.start <= t < s.end)
-
-    # ------------------------------------------------------------- delivery
-    def latency(self, src: str, dst: str) -> float:
-        """One-way latency for a packet sent *now* from ``src`` to ``dst``."""
+    def _route(self, src: str, dst: str) -> Tuple[float, Optional[Node], Endpoint]:
+        """Resolve and cache the (base latency, dst node, handler) of a pair."""
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination endpoint {dst!r}")
+        if src not in self._endpoints:
+            raise KeyError(f"unknown source endpoint {src!r}")
         src_node = self._endpoints[src][0]
-        dst_node = self._endpoints[dst][0]
+        dst_node, handler = self._endpoints[dst]
         if src_node is not None and src_node is dst_node:
             base = self.config.intra_node_latency
         else:
             base = self.config.inter_node_latency
-        if self.rng is not None and self.config.jitter > 0:
-            base *= 1.0 + float(self.rng.random()) * self.config.jitter
+        route = (base, dst_node, handler)
+        self._routes[(src, dst)] = route
+        return route
+
+    # -------------------------------------------------------------- surges
+    def add_latency_surge(self, start: float, end: float, extra: float) -> None:
+        """Add ``extra`` seconds to every packet sent in ``[start, end)``.
+
+        Windows entirely in the past (``end <= now``) can never affect a
+        packet and are dropped immediately rather than kept on the
+        timeline.
+        """
+        if end <= start or extra < 0:
+            raise ValueError("invalid latency surge window")
+        if end <= self.sim.now:
+            return
+        insort(self._surges, _LatencySurge(start, end, extra), key=attrgetter("start"))
+        # Invalidate the active-window cache.
+        self._surge_from = math.inf
+        self._surge_until = -math.inf
+
+    def _surge_extra(self, t: float) -> float:
+        if self._surge_from <= t < self._surge_until:
+            return self._surge_active
+        return self._surge_rescan(t)
+
+    def _surge_rescan(self, t: float) -> float:
+        """Recompute the active extra at ``t`` and its validity window,
+        pruning surges that ended at or before ``t``."""
+        surges = self._surges
+        if surges:
+            live = [s for s in surges if s.end > t]
+            if len(live) != len(surges):
+                self._surges = surges = live
+        extra = 0.0
+        until = math.inf
+        for s in surges:  # sorted by start
+            if s.start <= t:
+                extra += s.extra
+                if s.end < until:
+                    until = s.end
+            else:
+                # First future window bounds the cache validity.
+                if s.start < until:
+                    until = s.start
+                break
+        self._surge_active = extra
+        self._surge_from = t
+        self._surge_until = until
+        return extra
+
+    # ------------------------------------------------------------- delivery
+    def _jitter_factor(self) -> float:
+        """Next ``1 + U(0, jitter)`` multiplier from the pre-drawn block."""
+        i = self._jitter_idx
+        if i >= len(self._jitter_block):
+            # tolist() keeps the exact float64 values as Python floats.
+            self._jitter_block = self.rng.random(JITTER_BLOCK).tolist()
+            i = 0
+        self._jitter_idx = i + 1
+        return 1.0 + self._jitter_block[i] * self.config.jitter
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency for a packet sent *now* from ``src`` to ``dst``."""
+        route = self._routes.get((src, dst))
+        if route is None:
+            route = self._route(src, dst)
+        base, dst_node, _ = route
+        if self._jitter_on:
+            base *= self._jitter_factor()
         base += self._surge_extra(self.sim.now)
         if dst_node is not None:
             base += dst_node.rx_overhead
@@ -136,16 +232,26 @@ class Network:
         Delivery runs the destination node's RX hooks (if any) and then
         the endpoint handler.
         """
-        if packet.dst not in self._endpoints:
-            raise KeyError(f"unknown destination endpoint {packet.dst!r}")
-        if packet.src not in self._endpoints:
-            raise KeyError(f"unknown source endpoint {packet.src!r}")
-        packet.send_time = self.sim.now
+        route = self._routes.get((packet.src, packet.dst))
+        if route is None:
+            route = self._route(packet.src, packet.dst)
+        base, dst_node, handler = route
+        if self._jitter_on:
+            base *= self._jitter_factor()
+        t = self.sim.now
+        if self._surge_from <= t < self._surge_until:
+            base += self._surge_active
+        else:
+            base += self._surge_rescan(t)
+        if dst_node is not None:
+            base += dst_node._rx_overhead
+        packet.send_time = t
         self.packets_sent += 1
-        self.sim.schedule(self.latency(packet.src, packet.dst), self._deliver, packet)
+        self.sim.schedule(base, self._deliver, packet, dst_node, handler)
 
-    def _deliver(self, packet: RpcPacket) -> None:
-        node, handler = self._endpoints[packet.dst]
+    def _deliver(
+        self, packet: RpcPacket, node: Optional[Node], handler: Endpoint
+    ) -> None:
         self.packets_delivered += 1
         for obs in self._observers:
             obs(packet)

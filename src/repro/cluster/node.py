@@ -56,6 +56,11 @@ class Node:
         self.dvfs = dvfs
         self.containers: Dict[str, Container] = {}
         self._hooks: List[Tuple[float, RxHook]] = []
+        # Per-packet caches, rebuilt on hook add/remove: total hook cost
+        # and the hook callables in run order.  The network reads these on
+        # every delivery, so they must not be recomputed per packet.
+        self._rx_overhead = 0.0
+        self._hook_fns: Tuple[RxHook, ...] = ()
 
     # ----------------------------------------------------------- containers
     def add_container(self, container: Container) -> None:
@@ -105,19 +110,25 @@ class Node:
         if cost < 0:
             raise ValueError("hook cost must be non-negative")
         self._hooks.append((cost, hook))
+        self._refresh_hook_caches()
 
     def remove_rx_hook(self, hook: RxHook) -> None:
         """Detach a previously-added hook (no-op if absent)."""
         self._hooks = [(c, h) for (c, h) in self._hooks if h is not hook]
+        self._refresh_hook_caches()
+
+    def _refresh_hook_caches(self) -> None:
+        self._rx_overhead = sum(c for c, _ in self._hooks)
+        self._hook_fns = tuple(h for _, h in self._hooks)
 
     @property
     def rx_overhead(self) -> float:
         """Total per-packet latency added by the installed hooks."""
-        return sum(c for c, _ in self._hooks)
+        return self._rx_overhead
 
     def on_packet(self, packet: "RpcPacket") -> None:
         """Run all RX hooks on an arriving packet (called by the network)."""
-        for _, hook in self._hooks:
+        for hook in self._hook_fns:
             hook(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

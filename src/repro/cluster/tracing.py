@@ -123,30 +123,48 @@ class RequestTracer:
         if not spans:
             return []
         children: Dict[str, List[Span]] = {}
+        # First (earliest-receive) span per container, built once —
+        # `spans` is already receive-time ordered.
+        first_span: Dict[str, Span] = {}
         for s in spans:
             children.setdefault(s.parent, []).append(s)
-
-        def walk(container: str) -> Tuple[float, List[Tuple[str, float]]]:
-            own = next(
-                (s for s in spans if s.container == container), None
-            )
-            if own is None or own.duration is None:
-                return 0.0, []
-            kid_paths = [walk(k.container) for k in children.get(container, [])]
-            kids_total = sum(
-                k.duration or 0.0 for k in children.get(container, [])
-            )
-            self_time = max(own.duration - kids_total, 0.0)
-            if not kid_paths:
-                return own.duration, [(container, self_time)]
-            best_len, best_path = max(kid_paths, key=lambda p: p[0])
-            return own.duration, [(container, self_time)] + best_path
+            if s.container not in first_span:
+                first_span[s.container] = s
 
         roots = children.get("client", [])
         if not roots:
             return []
-        _, path = walk(roots[0].container)
-        return path
+        root = roots[0].container
+
+        # Iterative post-order walk (deep chains would blow the recursion
+        # limit; a span list scan per node would be O(n²)).
+        results: Dict[str, Tuple[float, List[Tuple[str, float]]]] = {}
+        in_progress = set()
+        stack: List[Tuple[str, bool]] = [(root, False)]
+        while stack:
+            name, ready = stack.pop()
+            if ready:
+                in_progress.discard(name)
+                own = first_span.get(name)
+                if own is None:
+                    results[name] = (0.0, [])
+                    continue
+                kids = children.get(name, [])
+                kids_total = sum(k.duration or 0.0 for k in kids)
+                self_time = max(own.duration - kids_total, 0.0)
+                kid_paths = [results.get(k.container, (0.0, [])) for k in kids]
+                if not kid_paths:
+                    results[name] = (own.duration, [(name, self_time)])
+                else:
+                    _, best_path = max(kid_paths, key=lambda p: p[0])
+                    results[name] = (own.duration, [(name, self_time)] + best_path)
+            elif name not in results and name not in in_progress:
+                in_progress.add(name)
+                stack.append((name, True))
+                for k in children.get(name, []):
+                    if k.container not in results and k.container not in in_progress:
+                        stack.append((k.container, False))
+        return results[root][1]
 
     def summary_by_container(self) -> Dict[str, Tuple[int, float]]:
         """(visit count, mean span duration) per container, all requests."""

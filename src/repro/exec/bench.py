@@ -1,19 +1,24 @@
 """Machine-tracked performance benchmark → ``BENCH_exec.json``.
 
-Two measurements, deliberately simple so their trajectory is comparable
-across PRs:
+Three measurements, deliberately simple so their trajectory is
+comparable across PRs (report ``schema: 2``):
 
 * **engine** — raw event-loop throughput (events/second) on a synthetic
   workload of self-rescheduling timers plus cancel churn, exercising the
   heap's lazy-deletion path the way ``Container`` does;
+* **packet_path** — packets/second through the real delivery path
+  (``Network.send`` → ``_deliver`` with FirstResponder's RX hook
+  installed and a per-packet slack check running), i.e. the per-RPC-hop
+  cost every simulated request pays several times over;
 * **cell** — wall-clock seconds for one standard experiment cell
   (CHAIN × 1.75× surges × SurgeGuard), i.e. the unit of work the
   repetition protocol fans out.
 
 Run ``python -m repro.exec.bench`` from the repo root; it writes
 ``BENCH_exec.json`` there (override with ``--out``).  CI runs the smoke
-variant (``tests/exec/test_bench.py``) which asserts a conservative
-events/second floor so catastrophic engine regressions fail the build.
+variant (``tests/exec/test_bench.py``) which asserts conservative
+events/second and packets/second floors so catastrophic regressions
+fail the build.
 """
 
 from __future__ import annotations
@@ -28,15 +33,28 @@ from typing import Iterable, Optional
 
 from repro.sim.engine import Simulator
 
-__all__ = ["bench_cell", "bench_engine", "main", "run_benchmarks"]
+__all__ = [
+    "bench_cell",
+    "bench_engine",
+    "bench_packet_path",
+    "main",
+    "run_benchmarks",
+]
 
 #: Default synthetic event count for the engine measurement.
 DEFAULT_EVENTS = 300_000
+
+#: Default packet count for the packet-path measurement.
+DEFAULT_PACKETS = 100_000
 
 #: Conservative floor asserted by the CI smoke test (events/second).
 #: The engine sustains well over 10× this on an idle core; dipping under
 #: the floor means the event loop itself regressed catastrophically.
 ENGINE_FLOOR_EPS = 25_000.0
+
+#: Conservative packets/second floor for the packet-path smoke test.
+#: The fast lane sustains well over 10× this on an idle core.
+PACKET_FLOOR_PPS = 15_000.0
 
 
 def bench_engine(n_events: int = DEFAULT_EVENTS, fanout: int = 64) -> dict:
@@ -78,6 +96,78 @@ def _noop() -> None:
     pass
 
 
+def bench_packet_path(n_packets: int = DEFAULT_PACKETS) -> dict:
+    """Measure packets/second through ``Network.send`` → ``_deliver``.
+
+    A real single-node CHAIN cluster is assembled and a FirstResponder
+    is installed on its node, so every delivery pays the authentic RX
+    path: route resolution, jitter draw, surge lookup, hook overhead,
+    the slack check, and handler dispatch.  Packets ping-pong through a
+    sink endpoint whose progress target is generous enough that no boost
+    ever fires — this times the steady-state fast path, not the (rare)
+    violation path.
+    """
+    if n_packets < 1:
+        raise ValueError("n_packets must be >= 1")
+    from repro.cluster.cluster import Cluster, ClusterConfig
+    from repro.cluster.packet import REQUEST, RpcPacket
+    from repro.controllers.targets import TargetConfig
+    from repro.core.config import SurgeGuardConfig
+    from repro.core.firstresponder import FirstResponder
+    from repro.services.registry import get_workload
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator()
+    cluster = Cluster(
+        sim, get_workload("chain").build(), ClusterConfig(n_nodes=1), RngRegistry(1)
+    )
+    sink_name = "bench_sink"
+    names = list(cluster.containers) + [sink_name]
+    targets = TargetConfig(
+        expected_exec_metric={n: 1.0 for n in names},
+        expected_exec_time={n: 1.0 for n in names},
+        expected_time_from_start={n: 1.0 for n in names},
+        qos_target=0.05,
+    )
+    responder = FirstResponder(
+        sim, cluster.node_views[0], SurgeGuardConfig(), targets
+    )
+    responder.install()
+
+    net = cluster.network
+    delivered = 0
+
+    def fire() -> None:
+        net.send(
+            RpcPacket(
+                request_id=delivered,
+                kind=REQUEST,
+                src="client",
+                dst=sink_name,
+                start_time=sim.now,
+            )
+        )
+
+    def sink(_pkt) -> None:
+        nonlocal delivered
+        delivered += 1
+        if delivered < n_packets:
+            fire()
+
+    net.register(sink_name, cluster.nodes[0], sink)
+
+    fire()
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    return {
+        "packets": delivered,
+        "seconds": dt,
+        "packets_per_sec": delivered / dt if dt > 0 else float("inf"),
+        "hook_inspected": responder.packets_inspected,
+    }
+
+
 def bench_cell(
     *, reps: int = 1, jobs: int = 1, workload: str = "chain"
 ) -> dict:
@@ -115,13 +205,14 @@ def bench_cell(
 def run_benchmarks(
     *,
     n_events: int = DEFAULT_EVENTS,
+    n_packets: int = DEFAULT_PACKETS,
     reps: int = 1,
     jobs: int = 1,
     skip_cell: bool = False,
 ) -> dict:
-    """Run both measurements and return the report dict."""
+    """Run all measurements and return the report dict (schema 2)."""
     report = {
-        "schema": 1,
+        "schema": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "machine": {
             "cpu_count": os.cpu_count(),
@@ -129,6 +220,7 @@ def run_benchmarks(
             "python": sys.version.split()[0],
         },
         "engine": bench_engine(n_events),
+        "packet_path": bench_packet_path(n_packets),
     }
     if not skip_cell:
         report["cell"] = bench_cell(reps=reps, jobs=jobs)
@@ -143,6 +235,10 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     parser.add_argument(
         "--events", type=int, default=DEFAULT_EVENTS,
         help=f"synthetic engine events (default {DEFAULT_EVENTS})",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=DEFAULT_PACKETS,
+        help=f"packet-path packets (default {DEFAULT_PACKETS})",
     )
     parser.add_argument(
         "--reps", type=int, default=1, help="cell repetitions (default 1)"
@@ -162,6 +258,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
 
     report = run_benchmarks(
         n_events=args.events,
+        n_packets=args.packets,
         reps=args.reps,
         jobs=args.jobs,
         skip_cell=args.skip_cell,
@@ -173,6 +270,9 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     eng = report["engine"]
     print(f"engine: {eng['events']} events in {eng['seconds']:.3f}s "
           f"= {eng['events_per_sec']:,.0f} ev/s")
+    pkt = report["packet_path"]
+    print(f"packet: {pkt['packets']} packets in {pkt['seconds']:.3f}s "
+          f"= {pkt['packets_per_sec']:,.0f} pkt/s")
     cell = report.get("cell")
     if cell:
         print(f"cell:   {cell['workload']}×{cell['controller']} "

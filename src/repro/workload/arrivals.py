@@ -14,8 +14,9 @@ arrivals precisely even when a 100 µs spike multiplies the rate 20×.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 __all__ = ["RateSchedule", "Spike"]
 
@@ -57,6 +58,26 @@ class RateSchedule:
         for a, b in zip(self.spikes, self.spikes[1:]):
             if b.start < a.end:
                 raise ValueError(f"overlapping spikes: {a} and {b}")
+        # Static segment table: contiguous half-open segments covering
+        # (-inf, inf), segment i = [_seg_ends[i-1], _seg_ends[i]) at rate
+        # _seg_rates[i].  Built once so every query is a bisect plus a
+        # short walk instead of an O(#spikes) list rebuild per call — the
+        # open-loop client calls `advance` once per arrival, which made
+        # the old rebuild quadratic over a run with periodic spikes.
+        ends: List[float] = []
+        rates: List[float] = []
+        prev_end = -math.inf
+        for s in self.spikes:
+            if s.start > prev_end:
+                ends.append(s.start)
+                rates.append(self.base_rate)
+            ends.append(s.end)
+            rates.append(s.rate)
+            prev_end = s.end
+        ends.append(math.inf)
+        rates.append(self.base_rate)
+        self._seg_ends = ends
+        self._seg_rates = rates
 
     # ------------------------------------------------------------- builders
     @classmethod
@@ -96,24 +117,10 @@ class RateSchedule:
     # --------------------------------------------------------------- queries
     def rate_at(self, t: float) -> float:
         """Instantaneous rate at time ``t``."""
-        for s in self.spikes:
-            if s.start <= t < s.end:
-                return s.rate
-        return self.base_rate
-
-    def _boundaries_after(self, t: float) -> List[Tuple[float, float]]:
-        """(segment_end, segment_rate) pairs covering [t, ∞) in order."""
-        segs: List[Tuple[float, float]] = []
-        cur = t
-        for s in self.spikes:
-            if s.end <= cur:
-                continue
-            if s.start > cur:
-                segs.append((s.start, self.base_rate))
-            segs.append((s.end, s.rate))
-            cur = s.end
-        segs.append((math.inf, self.base_rate))
-        return segs
+        i = bisect_right(self._seg_ends, t)
+        if i >= len(self._seg_rates):  # t == inf
+            return self.base_rate
+        return self._seg_rates[i]
 
     def advance(self, t: float, units: float) -> float:
         """Earliest ``t' ≥ t`` with ``∫_t^{t'} rate(u) du = units``.
@@ -125,30 +132,39 @@ class RateSchedule:
         """
         if units < 0:
             raise ValueError("units must be non-negative")
+        ends = self._seg_ends
+        rates = self._seg_rates
         remaining = units
         cur = t
-        for seg_end, rate in self._boundaries_after(t):
+        i = bisect_right(ends, t)
+        while True:
+            seg_end = ends[i]
+            rate = rates[i]
             if rate > 0:
                 dt_needed = remaining / rate
                 if cur + dt_needed <= seg_end:
                     return cur + dt_needed
                 remaining -= (seg_end - cur) * rate
-            if seg_end is math.inf or seg_end == math.inf:
+            if seg_end == math.inf:
                 return math.inf
             cur = seg_end
-        return math.inf  # pragma: no cover - loop always hits the inf segment
+            i += 1
 
     def mean_rate(self, t0: float, t1: float) -> float:
         """Average rate over [t0, t1] (for expected-request-count checks)."""
         if t1 <= t0:
             raise ValueError("empty interval")
+        ends = self._seg_ends
+        rates = self._seg_rates
         total = 0.0
         cur = t0
-        for seg_end, rate in self._boundaries_after(t0):
-            end = min(seg_end, t1)
+        i = bisect_right(ends, t0)
+        while True:
+            end = min(ends[i], t1)
             if end > cur:
-                total += (end - cur) * rate
+                total += (end - cur) * rates[i]
                 cur = end
             if cur >= t1:
                 break
+            i += 1
         return total / (t1 - t0)

@@ -98,6 +98,10 @@ class OpenLoopClient:
         self.stats = ClientStats()
         self._next_id = 0
         self._started = False
+        # Per-arrival fast path: bind the schedule inversion once and
+        # skip the units-draw indirection under uniform pacing.
+        self._advance = schedule.advance
+        self._uniform = pacing == "uniform"
 
     def begin(self) -> None:
         """Arm the client (schedules the first arrival)."""
@@ -128,7 +132,10 @@ class OpenLoopClient:
         self.stats.latencies.append(float("nan"))
         self.stats.sent += 1
         self.cluster.client_send(idx, self._make_callback(idx, now))
-        nxt = self.schedule.advance(now, self._draw_units())
+        if self._uniform:
+            nxt = self._advance(now, 1.0)
+        else:
+            nxt = self._advance(now, float(self.rng.exponential(1.0)))  # type: ignore[union-attr]
         if nxt < self.end:
             self.sim.schedule_at(nxt, self._fire)
 

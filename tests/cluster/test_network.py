@@ -113,6 +113,78 @@ class TestLatency:
             net.add_latency_surge(1.0, 0.5, extra=0.01)
 
 
+class TestSurgeTimeline:
+    @pytest.fixture
+    def routed(self, sim, net, two_nodes):
+        n0, n1 = two_nodes
+        net.register("a", n0, lambda p: None)
+        net.register("b", n1, lambda p: None)
+        return net
+
+    def _advance_to(self, sim, t):
+        sim.schedule(t, lambda: None)
+        sim.run()
+
+    def test_surge_cost_drops_to_zero_after_end(self, sim, routed):
+        routed.add_latency_surge(0.0, 1.0, extra=0.005)
+        inter = routed.config.inter_node_latency
+        assert routed.latency("a", "b") == pytest.approx(0.005 + inter)
+        self._advance_to(sim, 2.0)
+        assert routed.latency("a", "b") == pytest.approx(inter)
+
+    def test_expired_surges_pruned_from_timeline(self, sim, routed):
+        routed.add_latency_surge(0.0, 1.0, extra=0.005)
+        routed.add_latency_surge(0.5, 1.5, extra=0.002)
+        self._advance_to(sim, 2.0)
+        routed.latency("a", "b")  # triggers the rescan/prune
+        assert routed._surges == []
+
+    def test_wholly_past_window_dropped_on_add(self, sim, routed):
+        self._advance_to(sim, 5.0)
+        routed.add_latency_surge(0.0, 1.0, extra=0.005)
+        assert routed._surges == []
+        assert routed.latency("a", "b") == pytest.approx(
+            routed.config.inter_node_latency
+        )
+
+    def test_overlapping_surges_sum(self, sim, routed):
+        routed.add_latency_surge(0.0, 2.0, extra=0.005)
+        routed.add_latency_surge(0.0, 1.0, extra=0.002)
+        assert routed.latency("a", "b") == pytest.approx(
+            0.007 + routed.config.inter_node_latency
+        )
+
+    def test_adding_surge_invalidates_active_cache(self, sim, routed):
+        inter = routed.config.inter_node_latency
+        assert routed.latency("a", "b") == pytest.approx(inter)  # caches "no surge"
+        routed.add_latency_surge(0.0, 1.0, extra=0.005)
+        assert routed.latency("a", "b") == pytest.approx(0.005 + inter)
+
+    def test_cache_expires_at_next_boundary(self, sim, routed):
+        inter = routed.config.inter_node_latency
+        routed.add_latency_surge(1.0, 2.0, extra=0.005)
+        assert routed.latency("a", "b") == pytest.approx(inter)
+        self._advance_to(sim, 1.5)
+        assert routed.latency("a", "b") == pytest.approx(0.005 + inter)
+
+
+class TestJitterBatching:
+    def test_batched_stream_matches_per_call_draws(self, sim, dvfs, two_nodes):
+        import numpy as np
+
+        from repro.cluster.network import NetworkConfig
+
+        cfg = NetworkConfig(intra_node_latency=5e-6, jitter=0.1)
+        net = Network(sim, cfg, np.random.default_rng(7))
+        n0, _ = two_nodes
+        net.register("a", n0, lambda p: None)
+        net.register("b", n0, lambda p: None)
+        got = [net.latency("a", "b") for _ in range(5)]
+        ref_rng = np.random.default_rng(7)
+        want = [5e-6 * (1.0 + float(ref_rng.random()) * 0.1) for _ in range(5)]
+        assert got == want  # bit-identical, not approx
+
+
 class TestRxHooks:
     def test_hooks_run_before_handler(self, sim, net, two_nodes):
         n0, _ = two_nodes

@@ -84,3 +84,33 @@ class TestAnalysis:
         _, tracer = traced
         assert tracer.spans(99) == []
         assert tracer.critical_path(99) == []
+
+    def test_critical_path_survives_very_deep_chains(self, traced):
+        # Synthesize a chain far deeper than the recursion limit: the
+        # iterative walk must neither blow the stack nor go quadratic.
+        import sys
+
+        from repro.cluster.tracing import Span
+
+        _, tracer = traced
+        depth = sys.getrecursionlimit() * 2
+        per_req = {}
+        parent = "client"
+        for i in range(depth):
+            name = f"svc{i}"
+            per_req[name] = [
+                Span(
+                    request_id=7,
+                    container=name,
+                    t_receive=float(i),
+                    t_complete=float(2 * depth - i),
+                    parent=parent,
+                )
+            ]
+            parent = name
+        tracer._spans[7] = per_req
+        path = tracer.critical_path(7)
+        assert len(path) == depth
+        assert path[0][0] == "svc0"
+        assert path[-1][0] == f"svc{depth - 1}"
+        assert all(t >= 0 for _, t in path)

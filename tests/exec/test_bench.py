@@ -10,7 +10,14 @@ import json
 
 import pytest
 
-from repro.exec.bench import ENGINE_FLOOR_EPS, bench_engine, main, run_benchmarks
+from repro.exec.bench import (
+    ENGINE_FLOOR_EPS,
+    PACKET_FLOOR_PPS,
+    bench_engine,
+    bench_packet_path,
+    main,
+    run_benchmarks,
+)
 
 
 class TestBenchEngine:
@@ -30,19 +37,42 @@ class TestBenchEngine:
         assert result["pending_at_end"] < 5_000
 
 
+class TestBenchPacketPath:
+    def test_reports_floor_packets_per_sec(self):
+        result = bench_packet_path(10_000)
+        assert result["packets"] == 10_000
+        assert result["packets_per_sec"] >= PACKET_FLOOR_PPS
+        # FirstResponder's RX hook must have inspected every packet —
+        # otherwise the benchmark isn't timing the guarded path.
+        assert result["hook_inspected"] == 10_000
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            bench_packet_path(0)
+
+
 class TestReport:
     def test_run_benchmarks_shape(self):
-        report = run_benchmarks(n_events=20_000, skip_cell=True)
-        assert report["schema"] == 1
+        report = run_benchmarks(n_events=20_000, n_packets=5_000, skip_cell=True)
+        assert report["schema"] == 2
         assert report["machine"]["cpu_count"] >= 1
         assert report["engine"]["events_per_sec"] > 0
+        assert report["packet_path"]["packets_per_sec"] > 0
         assert "cell" not in report
 
     def test_cli_writes_valid_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_exec.json"
-        rc = main(["--events", "20000", "--skip-cell", "--out", str(out)])
+        rc = main([
+            "--events", "20000", "--packets", "5000", "--skip-cell",
+            "--out", str(out),
+        ])
         assert rc == 0
         report = json.loads(out.read_text())
+        assert report["schema"] == 2
         assert report["engine"]["events"] == 20_000
         assert report["engine"]["events_per_sec"] >= ENGINE_FLOOR_EPS
-        assert "engine:" in capsys.readouterr().out
+        assert report["packet_path"]["packets"] == 5_000
+        assert report["packet_path"]["packets_per_sec"] >= PACKET_FLOOR_PPS
+        cli_out = capsys.readouterr().out
+        assert "engine:" in cli_out
+        assert "packet:" in cli_out

@@ -1,0 +1,124 @@
+"""Segment-indexed RateSchedule ≡ the old linear-scan implementation.
+
+The fast lane replaced the per-call ``_boundaries_after`` rebuild with a
+segment table precomputed in ``__init__`` and served via ``bisect``.
+The arithmetic sequence of the walk is deliberately unchanged, so the
+results must be **bit-identical** (plain ``==``, no ``approx``) to the
+reference implementation below — a verbatim copy of the pre-optimization
+query code — on randomized schedules.
+"""
+
+import math
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.arrivals import RateSchedule, Spike
+
+
+class _ReferenceSchedule:
+    """Verbatim copy of the pre-fast-lane linear-scan queries."""
+
+    def __init__(self, base_rate: float, spikes) -> None:
+        self.base_rate = float(base_rate)
+        self.spikes = sorted(spikes, key=lambda s: s.start)
+
+    def rate_at(self, t: float) -> float:
+        for s in self.spikes:
+            if s.start <= t < s.end:
+                return s.rate
+        return self.base_rate
+
+    def _boundaries_after(self, t: float) -> List[Tuple[float, float]]:
+        segs: List[Tuple[float, float]] = []
+        cur = t
+        for s in self.spikes:
+            if s.end <= cur:
+                continue
+            if s.start > cur:
+                segs.append((s.start, self.base_rate))
+            segs.append((s.end, s.rate))
+            cur = s.end
+        segs.append((math.inf, self.base_rate))
+        return segs
+
+    def advance(self, t: float, units: float) -> float:
+        remaining = units
+        cur = t
+        for seg_end, rate in self._boundaries_after(t):
+            if rate > 0:
+                dt_needed = remaining / rate
+                if cur + dt_needed <= seg_end:
+                    return cur + dt_needed
+                remaining -= (seg_end - cur) * rate
+            if seg_end == math.inf:
+                return math.inf
+            cur = seg_end
+        return math.inf
+
+    def mean_rate(self, t0: float, t1: float) -> float:
+        total = 0.0
+        cur = t0
+        for seg_end, rate in self._boundaries_after(t0):
+            end = min(seg_end, t1)
+            if end > cur:
+                total += (end - cur) * rate
+                cur = end
+            if cur >= t1:
+                break
+        return total / (t1 - t0)
+
+
+@st.composite
+def schedules(draw):
+    """A randomized valid schedule: base rate + non-overlapping spikes."""
+    base = draw(st.floats(0.0, 500.0, allow_nan=False))
+    n = draw(st.integers(0, 8))
+    # Build non-overlapping windows by walking a cursor forward.
+    spikes = []
+    cursor = draw(st.floats(0.0, 5.0, allow_nan=False))
+    for _ in range(n):
+        gap = draw(st.floats(0.0, 3.0, allow_nan=False))
+        length = draw(st.floats(0.01, 3.0, allow_nan=False))
+        rate = draw(st.floats(0.0, 2000.0, allow_nan=False))
+        start = cursor + gap
+        spikes.append(Spike(start, start + length, rate))
+        cursor = start + length
+    return base, spikes
+
+
+@given(schedules(), st.floats(0.0, 40.0, allow_nan=False))
+@settings(max_examples=200)
+def test_rate_at_matches_reference(sched, t):
+    base, spikes = sched
+    fast = RateSchedule(base, spikes)
+    ref = _ReferenceSchedule(base, spikes)
+    assert fast.rate_at(t) == ref.rate_at(t)
+
+
+@given(
+    schedules(),
+    st.floats(0.0, 40.0, allow_nan=False),
+    st.floats(0.0, 1000.0, allow_nan=False),
+)
+@settings(max_examples=200)
+def test_advance_matches_reference_bit_identical(sched, t, units):
+    base, spikes = sched
+    fast = RateSchedule(base, spikes)
+    ref = _ReferenceSchedule(base, spikes)
+    got, want = fast.advance(t, units), ref.advance(t, units)
+    assert got == want or (math.isnan(got) and math.isnan(want))
+
+
+@given(
+    schedules(),
+    st.floats(0.0, 40.0, allow_nan=False),
+    st.floats(0.001, 20.0, allow_nan=False),
+)
+@settings(max_examples=200)
+def test_mean_rate_matches_reference_bit_identical(sched, t0, dt):
+    base, spikes = sched
+    fast = RateSchedule(base, spikes)
+    ref = _ReferenceSchedule(base, spikes)
+    assert fast.mean_rate(t0, t0 + dt) == ref.mean_rate(t0, t0 + dt)

@@ -82,6 +82,15 @@ class TestAdvance:
         s = RateSchedule(0.0)
         assert s.advance(0.0, 1.0) == math.inf
 
+    def test_zero_base_with_spike_work_exhausted(self):
+        # 10 units of work exist inside the spike; any target beyond that
+        # hits the zero-rate-forever tail and must return inf.
+        s = RateSchedule(0.0, [Spike(1.0, 2.0, 10.0)])
+        assert s.advance(0.0, 5.0) == pytest.approx(1.5)
+        assert s.advance(0.0, 10.0) == pytest.approx(2.0)
+        assert s.advance(0.0, 10.5) == math.inf
+        assert s.advance(2.5, 1.0) == math.inf
+
     def test_zero_units_is_now(self):
         s = RateSchedule(100.0)
         assert s.advance(3.0, 0.0) == pytest.approx(3.0)
