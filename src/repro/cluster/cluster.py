@@ -280,7 +280,20 @@ class Cluster:
             raise RuntimeError("client response without completion context")
         pkt.context(pkt)
 
+    @property
+    def ingress_count(self) -> int:
+        """End-to-end requests injected via :meth:`client_send` so far."""
+        return self._ingress_count
+
     # ------------------------------------------------------------ accounting
+    def allocations(self) -> Dict[str, float]:
+        """Instantaneous {container: allocated cores} snapshot."""
+        return {name: c.cores for name, c in self.containers.items()}
+
+    def frequencies(self) -> Dict[str, float]:
+        """Instantaneous {container: frequency in Hz} snapshot."""
+        return {name: c.frequency for name, c in self.containers.items()}
+
     def sync_all(self) -> None:
         """Flush all containers' lazy accounting up to the current time."""
         for c in self.containers.values():

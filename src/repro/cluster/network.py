@@ -127,6 +127,15 @@ class Network:
         Zero modeled cost: observers are measurement, not mechanism."""
         self._observers.append(fn)
 
+    def remove_observer(self, fn: Endpoint) -> None:
+        """Detach a previously-added observer (no-op if absent).
+
+        Lets the validation monitors disarm cleanly, restoring the
+        zero-observer fast path.  Equality (not identity) comparison, so
+        a re-derived bound method like ``tracer._on_packet`` matches the
+        one originally registered."""
+        self._observers = [obs for obs in self._observers if obs != fn]
+
     # ------------------------------------------------------------- registry
     def register(self, name: str, node: Optional[Node], handler: Endpoint) -> None:
         """Register an endpoint.  ``node=None`` marks an external endpoint

@@ -104,6 +104,29 @@ class Node:
             )
         container.set_cores(cores)
 
+    def allocation_errors(self, eps: float = 1e-6) -> List[str]:
+        """Core-feasibility problems on this node, as human-readable strings.
+
+        Empty list = feasible: every container holds a positive
+        allocation and the sum stays within the node's workload budget.
+        Used by the runtime invariant monitors (:mod:`repro.validate`).
+        """
+        errors: List[str] = []
+        total = 0.0
+        for c in self.containers.values():
+            if c.cores <= 0:
+                errors.append(
+                    f"{self.name}: container {c.name!r} has non-positive "
+                    f"allocation {c.cores}"
+                )
+            total += c.cores
+        if total > self.cores + eps:
+            errors.append(
+                f"{self.name}: allocated {total:.6f} cores exceeds "
+                f"budget {self.cores:.6f}"
+            )
+        return errors
+
     # -------------------------------------------------------------- RX path
     def add_rx_hook(self, hook: RxHook, *, cost: float = 0.0) -> None:
         """Attach an RX-side packet hook with a per-packet processing cost."""

@@ -73,14 +73,18 @@ class RequestTracer:
 
     # ----------------------------------------------------------------- hooks
     def _on_packet(self, pkt: RpcPacket) -> None:
+        # Single dict probe up front: once max_requests is reached, the
+        # common case is an untraced request, which must exit after one
+        # lookup (this hook runs on every delivered packet).
+        per_req = self._spans.get(pkt.request_id)
         if pkt.kind == REQUEST:
-            if (
-                self.max_requests is not None
-                and pkt.request_id not in self._spans
-                and len(self._spans) >= self.max_requests
-            ):
-                return
-            per_req = self._spans.setdefault(pkt.request_id, {})
+            if per_req is None:
+                if (
+                    self.max_requests is not None
+                    and len(self._spans) >= self.max_requests
+                ):
+                    return
+                per_req = self._spans[pkt.request_id] = {}
             per_req.setdefault(pkt.dst, []).append(
                 Span(
                     request_id=pkt.request_id,
@@ -90,7 +94,6 @@ class RequestTracer:
                 )
             )
         elif pkt.kind == RESPONSE:
-            per_req = self._spans.get(pkt.request_id)
             if per_req is None:
                 return
             spans = per_req.get(pkt.src)
@@ -165,6 +168,56 @@ class RequestTracer:
                     if k.container not in results and k.container not in in_progress:
                         stack.append((k.container, False))
         return results[root][1]
+
+    def causality_errors(self, request_id: int, eps: float = 1e-12) -> List[str]:
+        """Causality problems in one request's span tree (empty = clean).
+
+        Checked invariants, used by the runtime monitors
+        (:mod:`repro.validate`):
+
+        * every closed span has ``t_complete >= t_receive``;
+        * a child span is received at or after its parent's earliest
+          receive (packets cannot travel backwards in time);
+        * critical-path self-times are non-negative and their sum does
+          not exceed the root span's duration.
+        """
+        errors: List[str] = []
+        spans = self.spans(request_id)
+        if not spans:
+            return errors
+        first_receive: Dict[str, float] = {}
+        for s in spans:
+            if s.container not in first_receive:
+                first_receive[s.container] = s.t_receive
+        for s in spans:
+            if s.t_complete is not None and s.t_complete < s.t_receive - eps:
+                errors.append(
+                    f"req {request_id}: span {s.container!r} completes at "
+                    f"{s.t_complete!r} before its receive {s.t_receive!r}"
+                )
+            parent_rx = first_receive.get(s.parent)
+            if parent_rx is not None and s.t_receive < parent_rx - eps:
+                errors.append(
+                    f"req {request_id}: span {s.container!r} received at "
+                    f"{s.t_receive!r} before parent {s.parent!r} at {parent_rx!r}"
+                )
+        path = self.critical_path(request_id)
+        if path:
+            for name, self_time in path:
+                if self_time < -eps:
+                    errors.append(
+                        f"req {request_id}: negative critical-path self-time "
+                        f"{self_time!r} at {name!r}"
+                    )
+            root = spans[0]
+            if root.duration is not None:
+                total = sum(st for _, st in path)
+                if total > root.duration + eps:
+                    errors.append(
+                        f"req {request_id}: critical-path self-times sum to "
+                        f"{total!r} > root duration {root.duration!r}"
+                    )
+        return errors
 
     def summary_by_container(self) -> Dict[str, Tuple[int, float]]:
         """(visit count, mean span duration) per container, all requests."""

@@ -32,7 +32,7 @@ containers* it picks and in *what order*.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
@@ -102,6 +102,11 @@ class Escalator:
         }
         #: Last cycle's scores (exposed for tests and the Fig. 14 probe).
         self.last_scores: Dict[str, int] = {}
+        #: Optional observer ``(container_name, window)`` called for every
+        #: runtime window this Escalator collects — the attachment point
+        #: for :mod:`repro.validate` metric-sanity monitors.  ``None``
+        #: (the default) costs one comparison per decision cycle.
+        self.window_hook: Optional[Callable[[str, object], None]] = None
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -160,6 +165,9 @@ class Escalator:
         self.stats.decision_cycles += 1
         names = self.view.container_names
         windows = {n: self.view.runtime(n).collect() for n in names}
+        if self.window_hook is not None:
+            for n in names:
+                self.window_hook(n, windows[n])
 
         # Frequency normalization: Escalator synchronizes state with
         # FirstResponder through shFreq (Fig. 7 step ⑥), so it knows what

@@ -58,6 +58,9 @@ class FirstResponder:
         self.stats = stats if stats is not None else ControllerStats()
         self._hold_until: Dict[str, float] = {}
         self._installed = False
+        #: Last time each container's boost was applied by the worker —
+        #: diagnostics plus the validate layer's boost-revert invariant.
+        self.last_boost_time: Dict[str, float] = {}
         # Observable fast-path counters (§VI-D overhead analysis).
         self.packets_inspected = 0
         self.violations_detected = 0
@@ -114,7 +117,9 @@ class FirstResponder:
         """Worker thread: write the MSRs (frequency → max) and publish
         the new frequencies to the Escalator-shared region (shFreq)."""
         f_max = self.view.node.dvfs.f_max
+        now = self.sim.now
         for name in containers:
+            self.last_boost_time[name] = now
             c = self.view.container(name)
             if c.frequency < f_max:
                 self.view.set_frequency(name, f_max)

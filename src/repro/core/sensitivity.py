@@ -141,6 +141,24 @@ class SensitivityTracker:
         s = self.sensitivity(container, cores - self.step)
         return s is not None and s < threshold
 
+    def nonfinite_entries(self) -> list:
+        """(container, cores, value) triples whose stored EWMA is not finite.
+
+        NaN marks *unobserved* buckets and is expected; an observed
+        bucket must hold a finite positive average.  ``inf`` or a
+        non-positive value means an update corrupted the matrix — the
+        sanity invariant :mod:`repro.validate` checks after every run.
+        """
+        bad = []
+        for container, row in self._exec_avg.items():
+            for b in range(self.n_buckets):
+                v = row[b]
+                if math.isnan(v):
+                    continue
+                if not math.isfinite(v) or v <= 0:
+                    bad.append((container, b * self.step, float(v)))
+        return bad
+
     def known_allocations(self, container: str) -> int:
         """Number of distinct allocations observed for ``container``."""
         row = self._exec_avg.get(container)

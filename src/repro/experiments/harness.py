@@ -101,6 +101,10 @@ class ExperimentConfig:
     #: Extra simulated time after injection stops, to drain in-flight
     #: requests before reading final metrics.
     drain: float = 2.0
+    #: Injected network-latency surges, ``(start, end, extra_seconds)``
+    #: triples in absolute simulated time (the abstract's second surge
+    #: type).  Applied to the measured run only — profiling stays clean.
+    latency_surges: Tuple[Tuple[float, float, float], ...] = ()
 
     def resolved_rate(self) -> float:
         if self.base_rate is not None:
@@ -263,12 +267,27 @@ def _lifetime_window(runtime):
 
 
 def run_experiment(
-    cfg: ExperimentConfig, targets: Optional[TargetConfig] = None
+    cfg: ExperimentConfig,
+    targets: Optional[TargetConfig] = None,
+    *,
+    monitors=None,
+    probe: Optional[Callable[[Simulator, Cluster], None]] = None,
 ) -> ExperimentResult:
     """Execute one measured run and summarize it.
 
     ``targets`` may be passed explicitly (ablations that must share one
     profiling pass); otherwise :func:`profile_targets` supplies them.
+
+    ``monitors`` is an optional
+    :class:`repro.validate.monitors.MonitorSet`: it is armed on the
+    built cluster right before the run starts and finalized after the
+    drain, accumulating any invariant violations on itself.  ``None``
+    (the default) leaves every hot path untouched.
+
+    ``probe`` is called as ``probe(sim, cluster)`` after the run drains
+    (and after monitor finalization) so callers can read end-state that
+    the picklable :class:`ExperimentResult` deliberately does not carry
+    — the scenario-fingerprint extractor uses this.
     """
     if targets is None:
         targets = profile_targets(cfg)
@@ -276,6 +295,8 @@ def run_experiment(
     sim, cluster = _build_cluster(
         cfg, app, seed=cfg.seed, record=cfg.record_timelines
     )
+    for surge_start, surge_end, surge_extra in cfg.latency_surges:
+        cluster.network.add_latency_surge(surge_start, surge_end, surge_extra)
 
     base_rate = cfg.resolved_rate()
     t_measure = cfg.warmup
@@ -315,11 +336,17 @@ def run_experiment(
 
     sim.schedule_at(t_measure, take_snapshot)
 
+    if monitors is not None:
+        monitors.arm(sim, cluster, controller=controller, client=client)
     client.begin()
     controller.start()
     sim.run(until=t_end + cfg.drain)
     controller.stop()
     cluster.sync_all()
+    if monitors is not None:
+        monitors.finalize()
+    if probe is not None:
+        probe(sim, cluster)
 
     # Measurement-window metrics.
     t, lat = client.stats.completed_arrays()

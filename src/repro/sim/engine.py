@@ -133,6 +133,16 @@ class Simulator:
         """Number of heap entries, *including* lazily-cancelled ones."""
         return len(self._heap)
 
+    @property
+    def live_events_pending(self) -> int:
+        """Number of *live* (not lazily-cancelled) pending events.
+
+        Exact: ``_cancelled_pending`` counts every cancelled entry still
+        sitting in the heap.  The validation layer uses this to decide
+        whether a run has fully drained (no in-flight work remains).
+        """
+        return len(self._heap) - self._cancelled_pending
+
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.

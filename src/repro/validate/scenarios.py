@@ -1,0 +1,133 @@
+"""The differential scenario matrix: workloads × controllers × scenarios.
+
+One scaled representative per paper workload family ({CHAIN,
+socialNetwork, hotelReservation}), crossed with the null baseline, full
+SurgeGuard, and the two strongest baselines (Parties, CaladanAlgo),
+under three traffic shapes:
+
+* ``steady`` — base rate only, no disturbance;
+* ``rate-spike`` — the §VI-B periodic request-rate surges;
+* ``latency-surge`` — the abstract's second surge type, injected through
+  :meth:`repro.cluster.network.Network.add_latency_surge` via the
+  harness's ``latency_surges`` config.
+
+Durations are deliberately small (a cell runs in seconds) — this matrix
+is a *differential* net, not a performance study: with monitors armed it
+must produce zero invariant violations and fingerprints bit-identical to
+the committed goldens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.exec.specs import spec
+from repro.experiments.harness import ExperimentConfig
+
+__all__ = [
+    "CONTROLLERS",
+    "SCENARIOS",
+    "WORKLOADS",
+    "Scenario",
+    "scenario_matrix",
+]
+
+#: Matrix workloads: registry key per paper workload family.
+WORKLOADS: Dict[str, str] = {
+    "chain": "chain",
+    "socialNetwork": "readUserTimeline",
+    "hotelReservation": "searchHotel",
+}
+
+#: Matrix controllers (spec-registry names — picklable and stable).
+CONTROLLERS: Tuple[str, ...] = ("null", "surgeguard", "parties", "caladan")
+
+#: Matrix traffic shapes.
+SCENARIOS: Tuple[str, ...] = ("steady", "rate-spike", "latency-surge")
+
+#: Shared cell timing: measurement [warmup, warmup+duration), then drain.
+_BASE = dict(
+    duration=2.0,
+    warmup=1.0,
+    profile_duration=1.0,
+    drain=1.0,
+    seed=11,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One matrix cell: its identity plus the harness config to run."""
+
+    workload_family: str
+    workload_key: str
+    controller: str
+    scenario: str
+    config: ExperimentConfig
+
+    @property
+    def key(self) -> str:
+        """Stable golden-file key, ``family/controller/scenario``."""
+        return f"{self.workload_family}/{self.controller}/{self.scenario}"
+
+
+def _cell_config(workload_key: str, controller: str, scenario: str) -> ExperimentConfig:
+    cfg = ExperimentConfig(
+        workload=workload_key,
+        controller_factory=spec(controller),
+        spike_magnitude=None,
+        **_BASE,
+    )
+    if scenario == "steady":
+        return cfg
+    if scenario == "rate-spike":
+        return replace(
+            cfg,
+            spike_magnitude=2.0,
+            spike_len=0.5,
+            spike_period=2.0,
+            spike_offset=0.25,
+        )
+    if scenario == "latency-surge":
+        # 2 ms extra per hop for half a second, mid-measurement — an
+        # order of magnitude over the base inter-node hop latency.
+        t0 = _BASE["warmup"] + 0.5
+        return replace(cfg, latency_surges=((t0, t0 + 0.5, 2e-3),))
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def scenario_matrix(
+    *,
+    workloads: Optional[List[str]] = None,
+    controllers: Optional[List[str]] = None,
+    scenarios: Optional[List[str]] = None,
+) -> List[Scenario]:
+    """Build the (optionally filtered) scenario list in stable order."""
+    families = list(WORKLOADS) if workloads is None else workloads
+    ctrls = list(CONTROLLERS) if controllers is None else controllers
+    shapes = list(SCENARIOS) if scenarios is None else scenarios
+    cells = []
+    for family in families:
+        try:
+            workload_key = WORKLOADS[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload family {family!r}; known: {sorted(WORKLOADS)}"
+            ) from None
+        for controller in ctrls:
+            for scenario in shapes:
+                if scenario not in SCENARIOS:
+                    raise KeyError(
+                        f"unknown scenario {scenario!r}; known: {list(SCENARIOS)}"
+                    )
+                cells.append(
+                    Scenario(
+                        workload_family=family,
+                        workload_key=workload_key,
+                        controller=controller,
+                        scenario=scenario,
+                        config=_cell_config(workload_key, controller, scenario),
+                    )
+                )
+    return cells

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
-from repro.sim.rng import RngRegistry
+from repro.cluster.cluster import ClusterConfig
 from tests.conftest import make_chain_app
 
 
@@ -20,11 +19,9 @@ class TestAssembly:
         for c in small_cluster.containers.values():
             assert c.frequency == dvfs.f_min
 
-    def test_round_robin_spreads_across_nodes(self, sim, rng):
+    def test_round_robin_spreads_across_nodes(self, make_cluster):
         app = make_chain_app(4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(n_nodes=2, cores_per_node=8), rng
-        )
+        cluster = make_cluster(app, n_nodes=2, cores_per_node=8)
         nodes_used = {cluster.placement[s] for s in app.service_names}
         assert nodes_used == {0, 1}
 
@@ -50,21 +47,14 @@ class TestControllerApi:
             == small_cluster.config.dvfs.f_max
         )
 
-    def test_timeline_recording(self, sim, rng, small_app):
-        cluster = Cluster(
-            sim,
-            small_app,
-            ClusterConfig(cores_per_node=12, placement="pack", record_timelines=True),
-            rng,
-        )
+    def test_timeline_recording(self, sim, make_cluster, small_app):
+        cluster = make_cluster(small_app, record_timelines=True)
         sim.schedule(1.0, cluster.set_cores, "s0", 3.0)
         sim.run()
         assert (1.0, "s0", 3.0) in cluster.alloc_events
 
-    def test_average_cores_of_static_cluster(self, sim, rng, small_app):
-        cluster = Cluster(
-            sim, small_app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-        )
+    def test_average_cores_of_static_cluster(self, sim, make_cluster, small_app):
+        cluster = make_cluster(small_app)
         sim.schedule(4.0, lambda: None)
         sim.run()
         total_init = sum(s.initial_cores for s in small_app.services)
@@ -77,22 +67,18 @@ class TestControllerApi:
 
 
 class TestNodeView:
-    def test_view_lists_only_local_containers(self, sim, rng):
+    def test_view_lists_only_local_containers(self, make_cluster):
         app = make_chain_app(4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(n_nodes=2, cores_per_node=8), rng
-        )
+        cluster = make_cluster(app, n_nodes=2, cores_per_node=8)
         v0, v1 = cluster.node_views
         assert set(v0.container_names) | set(v1.container_names) == set(
             app.service_names
         )
         assert not (set(v0.container_names) & set(v1.container_names))
 
-    def test_remote_access_raises(self, sim, rng):
+    def test_remote_access_raises(self, make_cluster):
         app = make_chain_app(4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(n_nodes=2, cores_per_node=8), rng
-        )
+        cluster = make_cluster(app, n_nodes=2, cores_per_node=8)
         v0 = cluster.node_views[0]
         remote = next(
             n for n in app.service_names if n not in v0.container_names
@@ -106,11 +92,9 @@ class TestNodeView:
         with pytest.raises(KeyError):
             v0.set_frequency(remote, 2e9)
 
-    def test_local_downstream_filters_to_node(self, sim, rng):
+    def test_local_downstream_filters_to_node(self, make_cluster):
         app = make_chain_app(4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(n_nodes=2, cores_per_node=8), rng
-        )
+        cluster = make_cluster(app, n_nodes=2, cores_per_node=8)
         for view in cluster.node_views:
             for name in view.container_names:
                 for d in view.local_downstream(name):

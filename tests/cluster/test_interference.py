@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.container import Container
 from repro.cluster.interference import InterferenceInjector, InterferenceWindow
 from tests.conftest import make_chain_app
@@ -44,11 +43,8 @@ class TestSpeedFactor:
 
 
 class TestInjector:
-    def test_window_applies_and_lifts(self, sim, rng):
-        app = make_chain_app(2)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
-        )
+    def test_window_applies_and_lifts(self, sim, make_cluster):
+        cluster = make_cluster(make_chain_app(2), cores_per_node=8)
         inj = InterferenceInjector(cluster)
         inj.inject("s1", start=1.0, length=0.5, factor=0.4)
         sim.run(until=1.2)
@@ -56,11 +52,8 @@ class TestInjector:
         sim.run(until=2.0)
         assert cluster.containers["s1"].speed_factor == 1.0
 
-    def test_unknown_container_rejected(self, sim, rng):
-        app = make_chain_app(2)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
-        )
+    def test_unknown_container_rejected(self, make_cluster):
+        cluster = make_cluster(make_chain_app(2), cores_per_node=8)
         with pytest.raises(KeyError):
             InterferenceInjector(cluster).inject(
                 "ghost", start=0.0, length=1.0, factor=0.5

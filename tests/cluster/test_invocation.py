@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.packet import RpcPacket
 from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
 from tests.conftest import make_chain_app
@@ -35,29 +34,25 @@ def fanout_app(mode: str, pool: int | None) -> AppSpec:
     )
 
 
-def build(sim, rng, app):
-    return Cluster(sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng)
-
-
 class TestChainFlow:
-    def test_request_traverses_whole_chain(self, sim, rng):
+    def test_request_traverses_whole_chain(self, sim, make_cluster):
         app = make_chain_app(3)
-        cluster = build(sim, rng, app)
+        cluster = make_cluster(app)
         done = run_one_request(sim, cluster)
         assert len(done) == 1
         for name in ("s0", "s1", "s2"):
             assert cluster.instances[name].requests_completed == 1
 
-    def test_latency_at_least_sum_of_work(self, sim, rng):
+    def test_latency_at_least_sum_of_work(self, sim, make_cluster):
         app = make_chain_app(3, work=1.6e6)  # 1ms per stage at 1.6GHz
-        cluster = build(sim, rng, app)
+        cluster = make_cluster(app)
         done = run_one_request(sim, cluster)
         assert done[0] >= 3e-3
 
-    def test_exec_times_nest_downstream(self, sim, rng):
+    def test_exec_times_nest_downstream(self, sim, make_cluster):
         """Upstream execTime ≥ downstream execTime (synchronous RPC)."""
         app = make_chain_app(3)
-        cluster = build(sim, rng, app)
+        cluster = make_cluster(app)
         run_one_request(sim, cluster)
         e = {
             n: cluster.runtimes[n].total_exec_time
@@ -65,7 +60,7 @@ class TestChainFlow:
         }
         assert e["s0"] > e["s1"] > e["s2"]
 
-    def test_post_work_runs_after_children(self, sim, rng):
+    def test_post_work_runs_after_children(self, sim, make_cluster):
         app = AppSpec(
             name="pw",
             action="x",
@@ -82,19 +77,21 @@ class TestChainFlow:
             root="a",
             qos_target=50e-3,
         )
-        cluster = build(sim, rng, app)
+        cluster = make_cluster(app)
         done = run_one_request(sim, cluster)
         assert done[0] >= 3e-3  # pre + child + post
 
 
 class TestFanout:
-    def test_parallel_faster_than_sequential(self, sim, rng):
+    def test_parallel_faster_than_sequential(self):
+        from repro.cluster.cluster import Cluster, ClusterConfig
         from repro.sim.engine import Simulator
         from repro.sim.rng import RngRegistry
 
         def latency(mode):
             s = Simulator()
-            c = build(s, RngRegistry(1), fanout_app(mode, None))
+            cfg = ClusterConfig(cores_per_node=12, placement="pack")
+            c = Cluster(s, fanout_app(mode, None), cfg, RngRegistry(1))
             done = []
             c.client_send(0, lambda p: done.append(s.now))
             s.run()
@@ -102,16 +99,16 @@ class TestFanout:
 
         assert latency("parallel") < latency("sequential")
 
-    def test_parallel_waits_for_all_children(self, sim, rng):
-        cluster = build(sim, rng, fanout_app("parallel", None))
+    def test_parallel_waits_for_all_children(self, sim, make_cluster):
+        cluster = make_cluster(fanout_app("parallel", None))
         done = run_one_request(sim, cluster)
         assert cluster.instances["l"].requests_completed == 1
         assert cluster.instances["r"].requests_completed == 1
 
-    def test_sequential_conn_wait_accumulates(self, sim, rng):
+    def test_sequential_conn_wait_accumulates(self, sim, make_cluster):
         """With a pool of 1 on both edges, the second child call cannot
         overlap; conn wait stays within execTime."""
-        cluster = build(sim, rng, fanout_app("sequential", 1))
+        cluster = make_cluster(fanout_app("sequential", 1))
         for i in range(4):
             cluster.client_send(i, lambda p: None)
         sim.run()
@@ -121,9 +118,9 @@ class TestFanout:
 
 
 class TestHintPropagation:
-    def test_upscale_hint_decrements_down_the_chain(self, sim, rng):
+    def test_upscale_hint_decrements_down_the_chain(self, sim, make_cluster):
         app = make_chain_app(4)
-        cluster = build(sim, rng, app)
+        cluster = make_cluster(app)
         # Stamp the root: TTL 2 should reach s1 (2) and s2 (1), not s3 (0).
         cluster.runtimes["s0"].stamp_upscale(ttl=2, duration=10.0)
         cluster.client_send(0, lambda p: None)
@@ -135,16 +132,16 @@ class TestHintPropagation:
         assert w2.upscale_hints == 1 and w2.max_hint_ttl == 1
         assert w3.upscale_hints == 0
 
-    def test_no_hint_without_stamp(self, sim, rng):
-        cluster = build(sim, rng, make_chain_app(3))
+    def test_no_hint_without_stamp(self, sim, make_cluster):
+        cluster = make_cluster(make_chain_app(3))
         cluster.client_send(0, lambda p: None)
         sim.run()
         for n in ("s0", "s1", "s2"):
             assert cluster.runtimes[n].collect().upscale_hints == 0
 
-    def test_start_time_propagates_unchanged(self, sim, rng):
+    def test_start_time_propagates_unchanged(self, sim, make_cluster):
         seen = []
-        cluster = build(sim, rng, make_chain_app(3))
+        cluster = make_cluster(make_chain_app(3))
         for node in cluster.nodes:
             node.add_rx_hook(lambda p: seen.append(p.start_time))
         cluster.client_send(0, lambda p: None)

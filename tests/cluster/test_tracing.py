@@ -2,17 +2,13 @@
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.tracing import RequestTracer
 from tests.conftest import make_chain_app
 
 
 @pytest.fixture
-def traced(sim, rng):
-    app = make_chain_app(3, work=1.0e6)
-    cluster = Cluster(
-        sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-    )
+def traced(make_cluster):
+    cluster = make_cluster(make_chain_app(3, work=1.0e6))
     tracer = RequestTracer(cluster)
     return cluster, tracer
 
@@ -45,11 +41,8 @@ class TestSpans:
         assert spans["s1"].parent == "s0"
         assert spans["s2"].parent == "s1"
 
-    def test_max_requests_cap(self, sim, rng):
-        app = make_chain_app(2, work=0.5e6)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
-        )
+    def test_max_requests_cap(self, sim, make_cluster):
+        cluster = make_cluster(make_chain_app(2, work=0.5e6), cores_per_node=8)
         tracer = RequestTracer(cluster, max_requests=2)
         for i in range(5):
             cluster.client_send(i, lambda p: None)

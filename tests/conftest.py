@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.engine import Simulator
@@ -9,6 +11,18 @@ from repro.sim.rng import RngRegistry
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.frequency import DvfsModel
 from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+from repro.workload.arrivals import RateSchedule
+from repro.workload.generator import OpenLoopClient
+
+try:  # hypothesis is an optional test dependency
+    from hypothesis import settings as _hyp_settings
+
+    # CI runs derandomized so a red build is reproducible locally by
+    # exporting HYPOTHESIS_PROFILE=ci; the default profile stays random.
+    _hyp_settings.register_profile("ci", derandomize=True, deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 @pytest.fixture
@@ -64,9 +78,58 @@ def small_app() -> AppSpec:
 
 
 @pytest.fixture
-def small_cluster(sim: Simulator, rng: RngRegistry, small_app: AppSpec) -> Cluster:
-    cfg = ClusterConfig(n_nodes=1, cores_per_node=12.0, placement="pack")
-    return Cluster(sim, small_app, cfg, rng)
+def make_cluster(sim: Simulator, rng: RngRegistry):
+    """Factory for the ubiquitous "deploy this app on a small cluster"
+    setup.  Single-node clusters default to packed placement (every
+    container on one node), multi-node to round-robin — the two shapes
+    virtually every substrate test wants.
+    """
+
+    def _make(
+        app: AppSpec,
+        *,
+        cores_per_node: float = 12.0,
+        n_nodes: int = 1,
+        placement: str | None = None,
+        **cfg_kwargs,
+    ) -> Cluster:
+        if placement is None:
+            placement = "pack" if n_nodes == 1 else "round_robin"
+        cfg = ClusterConfig(
+            n_nodes=n_nodes,
+            cores_per_node=cores_per_node,
+            placement=placement,
+            **cfg_kwargs,
+        )
+        return Cluster(sim, app, cfg, rng)
+
+    return _make
+
+
+@pytest.fixture
+def small_cluster(make_cluster, small_app: AppSpec) -> Cluster:
+    return make_cluster(small_app)
+
+
+def drive_cluster(
+    sim: Simulator,
+    cluster: Cluster,
+    *,
+    rate: float = 300.0,
+    duration: float = 0.5,
+    run_until: float | None = None,
+    controller=None,
+) -> OpenLoopClient:
+    """Seeded open-loop traffic against a deployed cluster, run to a
+    drain (or to ``run_until``).  Returns the client for its stats.
+    An attached-but-unstarted controller is started alongside the
+    client."""
+    client = OpenLoopClient(sim, cluster, RateSchedule(rate), duration=duration)
+    client.begin()
+    if controller is not None:
+        controller.start()
+    sim.run(until=duration + 0.5 if run_until is None else run_until)
+    return client
 
 
 @pytest.fixture(autouse=True)

@@ -91,17 +91,14 @@ class TestSurgeResponse:
 
 
 class TestStampPlumbing:
-    def test_queue_violation_stamps_runtime(self, sim, rng):
+    def test_queue_violation_stamps_runtime(self, sim, make_cluster):
         """A queueBuildup violation must mark outgoing packets (Table II
         row 2: 'set pkt.upscale')."""
-        from repro.cluster.cluster import Cluster, ClusterConfig
         from repro.controllers.targets import TargetConfig
         from repro.core.escalator import Escalator
 
         app = make_chain_app(3, pool=2)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-        )
+        cluster = make_cluster(app)
         targets = TargetConfig(
             expected_exec_metric={n: 10e-3 for n in app.service_names},
             expected_exec_time={n: 10e-3 for n in app.service_names},
@@ -120,15 +117,12 @@ class TestStampPlumbing:
         assert esc.last_scores["s1"] >= 1
         assert esc.last_scores["s2"] >= 1
 
-    def test_exec_violation_scores_self_only(self, sim, rng):
-        from repro.cluster.cluster import Cluster, ClusterConfig
+    def test_exec_violation_scores_self_only(self, sim, make_cluster):
         from repro.controllers.targets import TargetConfig
         from repro.core.escalator import Escalator
 
         app = make_chain_app(2, pool=4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-        )
+        cluster = make_cluster(app)
         targets = TargetConfig(
             expected_exec_metric={n: 10e-3 for n in app.service_names},
             expected_exec_time={n: 10e-3 for n in app.service_names},

@@ -23,11 +23,9 @@ def mk_targets(app, tfs=5e-3):
 
 
 @pytest.fixture
-def setup(sim, rng):
+def setup(sim, make_cluster):
     app = make_chain_app(3)
-    cluster = Cluster(
-        sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-    )
+    cluster = make_cluster(app)
     targets = mk_targets(app)
     fr = FirstResponder(
         sim, cluster.node_views[0], SurgeGuardConfig(), targets
@@ -78,11 +76,9 @@ class TestSlackDetection:
         fr.on_packet(pkt("client", start_time=-1.0))
         assert fr.violations_detected == 0
 
-    def test_boost_only_for_downstream_of_dst(self, sim, rng):
+    def test_boost_only_for_downstream_of_dst(self, sim, make_cluster):
         app = make_chain_app(3)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-        )
+        cluster = make_cluster(app)
         fr = FirstResponder(
             sim, cluster.node_views[0], SurgeGuardConfig(), mk_targets(app)
         )
@@ -147,11 +143,9 @@ class TestIntegrated:
         assert full.fast_path_packets > 0
         assert full.violation_volume < esc.violation_volume
 
-    def test_hook_cost_charged_on_packets(self, sim, rng):
+    def test_hook_cost_charged_on_packets(self, sim, make_cluster):
         app = make_chain_app(2)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-        )
+        cluster = make_cluster(app)
         fr = FirstResponder(
             sim, cluster.node_views[0], SurgeGuardConfig(), mk_targets(app)
         )

@@ -8,7 +8,6 @@ system limit-cycles when the boost decays.
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.controllers.targets import TargetConfig
 from repro.core import SurgeGuardConfig
 from repro.core.escalator import Escalator
@@ -16,11 +15,9 @@ from tests.conftest import make_chain_app
 
 
 @pytest.fixture
-def setup(sim, rng):
+def setup(sim, make_cluster):
     app = make_chain_app(1, work=1.6e6, pool=None, cores=2.0)
-    cluster = Cluster(
-        sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
-    )
+    cluster = make_cluster(app, cores_per_node=8)
     targets = TargetConfig(
         expected_exec_metric={"s0": 4e-3},
         expected_exec_time={"s0": 4e-3},

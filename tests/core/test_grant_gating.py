@@ -8,7 +8,6 @@ candidate must.
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.controllers.targets import TargetConfig
 from repro.core import SurgeGuardConfig
 from repro.core.escalator import Escalator
@@ -16,11 +15,9 @@ from tests.conftest import make_chain_app
 
 
 @pytest.fixture
-def setup(sim, rng):
+def setup(sim, make_cluster):
     app = make_chain_app(2, work=1.6e6, pool=4)
-    cluster = Cluster(
-        sim, app, ClusterConfig(cores_per_node=12, placement="pack"), rng
-    )
+    cluster = make_cluster(app)
     targets = TargetConfig(
         expected_exec_metric={n: 2e-3 for n in app.service_names},
         expected_exec_time={n: 2e-3 for n in app.service_names},

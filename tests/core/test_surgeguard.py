@@ -12,14 +12,11 @@ from tests.controllers.conftest import mini_config
 
 
 class TestAssembly:
-    def test_one_unit_pair_per_node(self, sim, rng):
-        from repro.cluster.cluster import Cluster, ClusterConfig
+    def test_one_unit_pair_per_node(self, sim, make_cluster):
         from repro.controllers.targets import TargetConfig
 
         app = make_chain_app(4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(n_nodes=2, cores_per_node=8), rng
-        )
+        cluster = make_cluster(app, n_nodes=2, cores_per_node=8)
         targets = TargetConfig(
             expected_exec_metric={n: 1e-3 for n in app.service_names},
             expected_exec_time={n: 1e-3 for n in app.service_names},
@@ -31,14 +28,11 @@ class TestAssembly:
         assert len(ctrl.escalators) == 2
         assert len(ctrl.firstresponders) == 2
 
-    def test_fr_disabled_by_config(self, sim, rng):
-        from repro.cluster.cluster import Cluster, ClusterConfig
+    def test_fr_disabled_by_config(self, sim, make_cluster):
         from repro.controllers.targets import TargetConfig
 
         app = make_chain_app(2)
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng
-        )
+        cluster = make_cluster(app, cores_per_node=8)
         targets = TargetConfig(
             expected_exec_metric={n: 1e-3 for n in app.service_names},
             expected_exec_time={n: 1e-3 for n in app.service_names},
@@ -65,17 +59,14 @@ class TestDecentralization:
             assert "cluster.containers" not in src
             assert "node_views" not in src
 
-    def test_escalator_touches_only_local_containers(self, sim, rng):
+    def test_escalator_touches_only_local_containers(self, sim, make_cluster):
         """On a 2-node cluster, each Escalator's actions land only on its
         own node's containers."""
-        from repro.cluster.cluster import Cluster, ClusterConfig
         from repro.controllers.targets import TargetConfig
         from repro.core.escalator import Escalator
 
         app = make_chain_app(4)
-        cluster = Cluster(
-            sim, app, ClusterConfig(n_nodes=2, cores_per_node=8), rng
-        )
+        cluster = make_cluster(app, n_nodes=2, cores_per_node=8)
         targets = TargetConfig(
             expected_exec_metric={n: 1e-3 for n in app.service_names},
             expected_exec_time={n: 1e-3 for n in app.service_names},

@@ -37,10 +37,35 @@ GOLDEN = {
             8.745140151644463e-07,
         ],
     },
+    # hotelReservation family, captured at the same config shape.
+    "searchHotel": {
+        "workload": "searchHotel",
+        "violation_volume": 1.092970783069e-05,
+        "p98": 0.017284805864273098,
+        "rep_violation_volumes": [
+            4.787109911479511e-06,
+            1.092970783069e-05,
+            7.380948995046117e-05,
+        ],
+    },
+    # Multi-node chain: round-robin placement across 2 nodes, so the
+    # fast lane's route cache and per-node RX overhead both cross node
+    # boundaries (single-node goldens never exercise that path).
+    "chain@2nodes": {
+        "workload": "chain",
+        "config": {"n_nodes": 2},
+        "violation_volume": 0.011881656314658937,
+        "p98": 0.050369254313369305,
+        "rep_violation_volumes": [
+            0.002367674978080033,
+            0.011934654735878932,
+            0.011881656314658937,
+        ],
+    },
 }
 
 
-def _cell_config(workload: str) -> ExperimentConfig:
+def _cell_config(workload: str, **overrides) -> ExperimentConfig:
     """Identical to the pre-optimization golden capture run."""
     return ExperimentConfig(
         workload=workload,
@@ -54,16 +79,22 @@ def _cell_config(workload: str) -> ExperimentConfig:
         profile_duration=1.0,
         drain=0.5,
         seed=3,
+        **overrides,
     )
 
 
 class TestBitIdenticalToSeedPath:
-    @pytest.mark.parametrize("workload", sorted(GOLDEN))
-    def test_results_match_pre_optimization_golden(self, workload, monkeypatch):
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_results_match_pre_optimization_golden(self, key, monkeypatch):
         monkeypatch.setenv("REPRO_REPS", "3")
+        want = GOLDEN[key]
+        workload = want.get("workload", key)
         clear_profile_cache()
-        cell = run_cell(_cell_config(workload), jobs=1, keep_runs=True)
-        want = GOLDEN[workload]
+        cell = run_cell(
+            _cell_config(workload, **want.get("config", {})),
+            jobs=1,
+            keep_runs=True,
+        )
         # Exact equality on purpose: the fast lane promises bit-identical
         # results, and approx would hide RNG-stream or ordering drift.
         assert cell.violation_volume == want["violation_volume"]

@@ -42,6 +42,7 @@ def _cell_config(workload: str) -> ExperimentConfig:
     )
 
 
+@pytest.mark.slow
 class TestBitIdenticalToSerial:
     @pytest.mark.parametrize("workload", WORKLOADS)
     def test_jobs4_equals_jobs1_field_for_field(self, workload, monkeypatch):

@@ -13,6 +13,8 @@ from repro.controllers.parties import PartiesController
 from repro.core import SurgeGuardConfig, SurgeGuardController
 from repro.experiments.harness import ExperimentConfig, run_experiment
 
+pytestmark = pytest.mark.slow
+
 
 def quick(workload, factory, **over):
     defaults = dict(

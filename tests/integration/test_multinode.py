@@ -6,6 +6,8 @@ from repro.core import SurgeGuardController
 from repro.experiments.harness import ExperimentConfig, run_experiment
 from repro.services.registry import get_workload, node_budget
 
+pytestmark = pytest.mark.slow
+
 
 def multinode_cfg(n_nodes, factory=SurgeGuardController, workload="readUserTimeline"):
     app = get_workload(workload).build()

@@ -1,0 +1,123 @@
+"""The differential scenario matrix against its committed goldens.
+
+A single cheap cell runs in tier-1; the full-slice comparisons are
+marked ``matrix`` and run in their own CI job (or locally via
+``pytest -m matrix`` / ``python -m repro.validate``).
+"""
+
+import json
+
+import pytest
+
+from repro.validate.runner import (
+    golden_path,
+    load_goldens,
+    run_matrix,
+)
+from repro.validate.scenarios import (
+    CONTROLLERS,
+    SCENARIOS,
+    WORKLOADS,
+    scenario_matrix,
+)
+
+
+class TestMatrixConstruction:
+    def test_full_matrix_shape(self):
+        cells = scenario_matrix()
+        assert len(cells) == len(WORKLOADS) * len(CONTROLLERS) * len(SCENARIOS)
+        assert len({c.key for c in cells}) == len(cells)
+
+    def test_filtering(self):
+        cells = scenario_matrix(
+            workloads=["chain"], controllers=["null", "surgeguard"]
+        )
+        assert len(cells) == 2 * len(SCENARIOS)
+        assert {c.workload_family for c in cells} == {"chain"}
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_matrix(workloads=["nope"])
+        with pytest.raises(KeyError):
+            scenario_matrix(scenarios=["nope"])
+
+    def test_scenario_shapes(self):
+        by_key = {c.key: c for c in scenario_matrix(workloads=["chain"])}
+        steady = by_key["chain/null/steady"].config
+        spike = by_key["chain/null/rate-spike"].config
+        surge = by_key["chain/null/latency-surge"].config
+        assert steady.spike_magnitude is None and not steady.latency_surges
+        assert spike.spike_magnitude == 2.0
+        assert len(surge.latency_surges) == 1
+        t0, t1, extra = surge.latency_surges[0]
+        assert steady.warmup < t0 < t1 < steady.warmup + steady.duration
+        assert extra > 0
+
+
+class TestGoldenFile:
+    def test_goldens_cover_the_full_matrix(self):
+        goldens = load_goldens()
+        assert set(goldens) == {c.key for c in scenario_matrix()}
+
+    def test_goldens_report_zero_paper_invariant_breaks(self):
+        # Structural sanity of the committed file itself: counts are
+        # non-negative and conservation holds *within* each fingerprint.
+        # (``completed`` counts only the measurement window, so it is
+        # bounded by — not equal to — total ingress.)
+        for key, fp in load_goldens().items():
+            assert 0 < fp["completed"] <= fp["ingress"], key
+            assert fp["outstanding"] >= 0, key
+            assert fp["packets_delivered"] <= fp["packets_sent"], key
+            assert fp["violation_volume"] >= 0.0, key
+            assert fp["violation_duration"] >= 0.0, key
+            assert all(v > 0 for v in fp["final_alloc"].values()), key
+
+    def test_golden_file_is_sorted_and_round_trips(self):
+        text = golden_path().read_text()
+        goldens = json.loads(text)
+        assert list(goldens) == sorted(goldens)
+        assert (
+            json.dumps(goldens, indent=2, sort_keys=True) + "\n" == text
+        ), "goldens.json not in canonical --update-golden format"
+
+
+class TestMatrixTier1Cell:
+    def test_one_cell_matches_golden(self):
+        """Cheapest cell in tier-1: catches drift on every PR."""
+        cells = scenario_matrix(
+            workloads=["chain"], controllers=["null"], scenarios=["steady"]
+        )
+        report = run_matrix(cells, verbose=False)
+        assert report.ok, [
+            (c.scenario.key, c.violations, c.diffs) for c in report.outcomes
+        ]
+        assert report.total_checks > 0
+
+
+@pytest.mark.matrix
+class TestMatrixSlices:
+    """Full-controller slices; ``python -m repro.validate`` covers the rest."""
+
+    @pytest.mark.parametrize("family", sorted(WORKLOADS))
+    def test_family_slice(self, family):
+        report = run_matrix(scenario_matrix(workloads=[family]), verbose=False)
+        failing = [
+            (c.scenario.key, c.violations, c.diffs, c.golden_missing)
+            for c in report.outcomes
+            if not c.ok
+        ]
+        assert report.ok, failing
+        assert report.total_violations == 0
+
+    def test_update_golden_writes_filtered_set(self, tmp_path):
+        cells = scenario_matrix(
+            workloads=["chain"], controllers=["null"], scenarios=["steady"]
+        )
+        out = tmp_path / "goldens.json"
+        report = run_matrix(cells, update_golden=True, golden_file=out, verbose=False)
+        assert report.updated_golden
+        written = json.loads(out.read_text())
+        assert list(written) == ["chain/null/steady"]
+        # Comparing against the file we just wrote is clean.
+        report2 = run_matrix(cells, golden_file=out, verbose=False)
+        assert report2.ok

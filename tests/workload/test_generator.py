@@ -3,16 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.workload.arrivals import RateSchedule, Spike
 from repro.workload.generator import OpenLoopClient
 from tests.conftest import make_chain_app
 
 
 @pytest.fixture
-def cluster(sim, rng):
+def cluster(make_cluster):
     app = make_chain_app(2, work=0.2e6)  # fast stages: client tests
-    return Cluster(sim, app, ClusterConfig(cores_per_node=8, placement="pack"), rng)
+    return make_cluster(app, cores_per_node=8)
 
 
 class TestPacing:
@@ -57,12 +56,10 @@ class TestPacing:
         in_spike = ((t >= 0.5) & (t < 1.0)).sum()
         assert in_spike == pytest.approx(200, abs=3)
 
-    def test_open_loop_ignores_completions(self, sim, rng):
+    def test_open_loop_ignores_completions(self, sim, make_cluster):
         """Arrivals continue on schedule even when the server is drowning."""
         app = make_chain_app(1, work=160e6, cores=0.5)  # 200ms service
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=4, placement="pack"), rng
-        )
+        cluster = make_cluster(app, cores_per_node=4)
         client = OpenLoopClient(sim, cluster, RateSchedule(100.0), duration=1.0)
         client.begin()
         sim.run(until=1.0)
@@ -78,11 +75,9 @@ class TestStats:
         assert len(t) == client.stats.completed == 50
         assert (lat > 0).all()
 
-    def test_outstanding_counts_incomplete(self, sim, rng):
+    def test_outstanding_counts_incomplete(self, sim, make_cluster):
         app = make_chain_app(1, work=1.6e9, cores=1.0)  # 1s service time
-        cluster = Cluster(
-            sim, app, ClusterConfig(cores_per_node=4, placement="pack"), rng
-        )
+        cluster = make_cluster(app, cores_per_node=4)
         client = OpenLoopClient(sim, cluster, RateSchedule(10.0), duration=1.0)
         client.begin()
         sim.run(until=1.0)  # stop before anything finishes
