@@ -222,6 +222,9 @@ class Cluster:
 
         self._views = [NodeView(self, n) for n in self.nodes]
         self._ingress_count = 0
+        #: Optional :class:`repro.faults.rpc.RpcCaller` installed by a
+        #: fault injector; ``None`` keeps ingress on the direct path.
+        self.rpc = None
 
     # ----------------------------------------------------------------- views
     @property
@@ -255,12 +258,18 @@ class Cluster:
         on_response: Callable[[RpcPacket], None],
         *,
         upscale: int = 0,
+        on_error: Optional[Callable[[RpcPacket], None]] = None,
     ) -> None:
         """Inject one end-to-end request at the application root.
 
         ``start_time`` is stamped now — the simulation equivalent of the
         first container setting it, since the client→root hop is part of
         the end-to-end budget either way.
+
+        ``on_error`` fires instead of ``on_response`` when the RPC
+        resilience layer is armed and the call exhausts its retries; it
+        defaults to ``on_response`` with a synthetic ``error=True``
+        response so legacy callers still observe a completion.
         """
         pkt = RpcPacket(
             request_id=request_id,
@@ -270,9 +279,15 @@ class Cluster:
             start_time=self.sim.now,
             upscale=upscale,
         )
-        pkt.context = on_response
         self._ingress_count += 1
-        self.network.send(pkt)
+        if self.rpc is None:
+            pkt.context = on_response
+            self.network.send(pkt)
+            return
+        if on_error is None:
+            def on_error(failed: RpcPacket) -> None:
+                on_response(failed.make_response(src=self.app.root, error=True))
+        self.rpc.call(pkt, on_response, on_error)
 
     @staticmethod
     def _client_rx(pkt: RpcPacket) -> None:

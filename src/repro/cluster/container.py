@@ -125,6 +125,8 @@ class Container:
         #: over a window (shFreq synchronization in the paper).
         self.freq_seconds = 0.0
         self.completed_jobs = 0
+        #: Fault-injected crashes survived (see :meth:`crash`).
+        self.crashes = 0
 
     # ----------------------------------------------------------- properties
     @property
@@ -186,6 +188,28 @@ class Container:
         self._advance()
         self._speed_factor = factor
         self._reschedule()
+
+    # ---------------------------------------------------------------- faults
+    def crash(self) -> int:
+        """Kill every in-progress compute phase (fault injection).
+
+        Accounting integrals are brought up to now first (the cores were
+        genuinely busy until the crash), then all jobs are discarded
+        *without* firing their ``done`` callbacks and the pending
+        next-completion event is cancelled.  Returns the number of jobs
+        killed.  The container object itself survives — a restart is
+        just new ``submit()`` traffic.
+        """
+        self._advance()
+        killed = len(self._jobs)
+        self._jobs.clear()
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+        self._next_jid = -1
+        self._next_rate = 0.0
+        self.crashes += 1
+        return killed
 
     # -------------------------------------------------------------- compute
     def submit(self, work_cycles: float, done: Callable[[], None]) -> int:

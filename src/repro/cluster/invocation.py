@@ -24,7 +24,7 @@ time), keeping ``execMetric = execTime − wait`` non-negative.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -50,6 +50,8 @@ class _Invocation:
         "par_waits",
         "child_idx",
         "pending",
+        "failed",
+        "dead",
     )
 
     def __init__(self, pkt: RpcPacket, t_arrive: float):
@@ -60,6 +62,13 @@ class _Invocation:
         self.par_waits: List[float] = []  # parallel per-branch waits
         self.child_idx = 0
         self.pending = 0
+        #: A child call failed (error response or retry exhaustion);
+        #: the request will complete as an error once branches resolve.
+        self.failed = False
+        #: Invocation was killed (container crash) or already finished as
+        #: an error: every late callback must drop on the floor — in
+        #: particular it must NOT release pools that were flushed.
+        self.dead = False
 
 
 class ServiceInstance:
@@ -97,10 +106,29 @@ class ServiceInstance:
         self.rng = rng
         self.requests_started = 0
         self.requests_completed = 0
+        #: Requests that completed as an *error* (a child call failed).
+        self.requests_failed = 0
+        #: In-flight invocations killed by :meth:`crash`.
+        self.inflight_killed = 0
+        #: Optional :class:`repro.faults.rpc.RpcCaller` installed by a
+        #: fault injector; ``None`` (always, on fault-free runs) keeps
+        #: child calls on the direct fire-and-forget path.
+        self.rpc = None
+        #: True between :meth:`crash` and :meth:`restart` — the process
+        #: is gone and nothing listens on its socket.
+        self._down = False
+        #: Live invocations, so a crash can fail them all (and a drained
+        #: run can prove none were orphaned).
+        self._live: set = set()
 
     # --------------------------------------------------------------- ingress
     def handle_packet(self, pkt: RpcPacket) -> None:
         """Network endpoint handler for this service's container."""
+        if self._down:
+            # Crashed process: requests and responses alike vanish at the
+            # dead socket.  Caller-side RPC timeouts are the recovery
+            # path (see repro.faults.rpc).
+            return
         if pkt.kind == RESPONSE:
             # Resume the waiting caller-side continuation.
             if pkt.context is None:  # pragma: no cover - wiring bug guard
@@ -116,14 +144,60 @@ class ServiceInstance:
         now = self.sim.now
         self.runtime.on_arrival(now - pkt.start_time, pkt.upscale)
         inv = _Invocation(pkt, now)
+        self._live.add(inv)
         work = self.spec.pre_work.sample(self.rng)
         if work > 0.0:
             self.container.submit(work, lambda: self._after_pre(inv))
         else:
             self._after_pre(inv)
 
+    # ---------------------------------------------------------------- faults
+    def crash(self) -> int:
+        """Fault injection: the service process dies right now.
+
+        In-flight invocations are marked dead (their pending callbacks
+        become no-ops), the container's compute phases are discarded,
+        and the caller-side connection pools are flushed — the threads
+        holding/awaiting those connections died with the process.
+        Returns the number of invocations killed.  The instance stays
+        ``_down`` (dropping all arriving packets) until :meth:`restart`.
+        """
+        self._down = True
+        for inv in self._live:
+            inv.dead = True
+        killed = len(self._live)
+        self.inflight_killed += killed
+        self._live.clear()
+        self.container.crash()
+        for pool in self.pools.values():
+            pool.flush()
+        return killed
+
+    def restart(self) -> None:
+        """Bring a crashed instance back up with a cold runtime window."""
+        if not self._down:
+            raise RuntimeError(f"{self.spec.name!r}: restart without crash")
+        self._down = False
+        self.runtime.reset_window()
+
+    def _send_child(self, out: RpcPacket, on_reply, on_error) -> None:
+        """Dispatch one child request: direct send, or via the RPC layer.
+
+        ``on_reply(resp)`` fires on any response (check ``resp.error``);
+        ``on_error(pkt)`` fires only from the RPC layer, on retry
+        exhaustion.  The direct path is the fault-free hot path and is
+        kept verbatim (one ``is None`` check of separation).
+        """
+        if self.rpc is None:
+            out.context = on_reply
+            self.network.send(out)
+        else:
+            self.rpc.call(out, on_reply, on_error)
+
     # ------------------------------------------------------------- children
     def _after_pre(self, inv: _Invocation) -> None:
+        if inv.dead:
+            return
         children = self.spec.children
         if not children:
             self._after_children(inv)
@@ -143,19 +217,33 @@ class ServiceInstance:
         pool = self.pools[edge.child]
 
         def granted(wait: float) -> None:
+            if inv.dead:
+                return  # pool was flushed with the crash; do not send
             inv.conn_wait += wait
             out = inv.pkt.fork_downstream(
                 dst=edge.child,
                 src=self.spec.name,
                 upscale=self._outgoing_ttl(inv),
             )
-            out.context = lambda resp: self._sequential_child_done(inv, pool)
-            self.network.send(out)
+            self._send_child(
+                out,
+                lambda resp: self._sequential_child_done(inv, pool, resp),
+                lambda _pkt: self._sequential_child_done(inv, pool, None),
+            )
 
         pool.acquire(granted)
 
-    def _sequential_child_done(self, inv: _Invocation, pool: ConnectionPool) -> None:
+    def _sequential_child_done(
+        self, inv: _Invocation, pool: ConnectionPool, resp: Optional[RpcPacket]
+    ) -> None:
+        if inv.dead:
+            return
         pool.release()
+        if resp is None or resp.error:
+            # Child failed (retry exhaustion or explicit error): skip the
+            # remaining children — the request cannot succeed anyway.
+            self._finish_error(inv)
+            return
         inv.child_idx += 1
         if inv.child_idx < len(self.spec.children):
             self._start_sequential_child(inv)
@@ -167,21 +255,37 @@ class ServiceInstance:
         pool = self.pools[edge.child]
 
         def granted(wait: float) -> None:
+            if inv.dead:
+                return  # pool was flushed with the crash; do not send
             inv.par_waits.append(wait)
             out = inv.pkt.fork_downstream(
                 dst=edge.child,
                 src=self.spec.name,
                 upscale=self._outgoing_ttl(inv),
             )
-            out.context = lambda resp: self._parallel_child_done(inv, pool)
-            self.network.send(out)
+            self._send_child(
+                out,
+                lambda resp: self._parallel_child_done(inv, pool, resp),
+                lambda _pkt: self._parallel_child_done(inv, pool, None),
+            )
 
         pool.acquire(granted)
 
-    def _parallel_child_done(self, inv: _Invocation, pool: ConnectionPool) -> None:
+    def _parallel_child_done(
+        self, inv: _Invocation, pool: ConnectionPool, resp: Optional[RpcPacket]
+    ) -> None:
+        if inv.dead:
+            return
         pool.release()
+        if resp is None or resp.error:
+            inv.failed = True
         inv.pending -= 1
         if inv.pending == 0:
+            if inv.failed:
+                # All branches resolved (success, error, or exhaustion):
+                # only now can the request complete, as an error.
+                self._finish_error(inv)
+                return
             inv.conn_wait += max(inv.par_waits, default=0.0)
             self._after_children(inv)
 
@@ -194,7 +298,22 @@ class ServiceInstance:
             self._finish(inv)
 
     def _finish(self, inv: _Invocation) -> None:
+        if inv.dead:
+            return
+        self._live.discard(inv)
         self.requests_completed += 1
         exec_time = self.sim.now - inv.t_arrive
         self.runtime.on_complete(exec_time, inv.conn_wait)
         self.network.send(inv.pkt.make_response(src=self.spec.name))
+
+    def _finish_error(self, inv: _Invocation) -> None:
+        """Complete ``inv`` as a failure: error response, no metrics.
+
+        The runtime's ``on_complete`` is deliberately *not* called — a
+        failed request's wall time measures timeout/backoff policy, not
+        container execution, and would poison ``execMetric`` windows.
+        """
+        inv.dead = True  # any straggling branch callback must no-op
+        self._live.discard(inv)
+        self.requests_failed += 1
+        self.network.send(inv.pkt.make_response(src=self.spec.name, error=True))

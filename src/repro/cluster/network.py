@@ -109,6 +109,9 @@ class Network:
         self._observers: List[Endpoint] = []
         self.packets_sent = 0
         self.packets_delivered = 0
+        #: Packets discarded by an armed fault injector's loss windows
+        #: (never incremented on the fault-free path — see repro.faults).
+        self.packets_dropped = 0
         # (src, dst) -> (base latency, dst node, handler); safe to cache
         # forever because registration is once-only.
         self._routes: Dict[Tuple[str, str], Tuple[float, Optional[Node], Endpoint]] = {}

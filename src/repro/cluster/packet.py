@@ -51,6 +51,11 @@ class RpcPacket:
     upscale: int = 0
     #: Simulated send timestamp; filled in by the network.
     send_time: float = 0.0
+    #: Response-only: the callee completed the request as a *failure*
+    #: (a downstream call exhausted its retries, or the callee crashed).
+    #: Error responses are terminal — callers propagate the failure
+    #: instead of retrying, like a gRPC status error vs a transport loss.
+    error: bool = False
     #: Opaque reference used by the invocation machinery to resume a caller.
     context: Optional[Any] = field(default=None, repr=False)
 
@@ -70,7 +75,7 @@ class RpcPacket:
             upscale=upscale,
         )
 
-    def make_response(self, src: str) -> "RpcPacket":
+    def make_response(self, src: str, *, error: bool = False) -> "RpcPacket":
         """Build the response packet back to this packet's sender."""
         return RpcPacket(
             request_id=self.request_id,
@@ -79,5 +84,22 @@ class RpcPacket:
             dst=self.src,
             start_time=self.start_time,
             upscale=0,
+            error=error,
             context=self.context,
+        )
+
+    def clone_retry(self) -> "RpcPacket":
+        """Fresh copy of a request for an RPC retransmission.
+
+        A new object on purpose: the network mutates ``send_time`` and
+        the RPC layer rebinds ``context`` per attempt, so attempts must
+        not share packet state.
+        """
+        return RpcPacket(
+            request_id=self.request_id,
+            kind=self.kind,
+            src=self.src,
+            dst=self.dst,
+            start_time=self.start_time,
+            upscale=self.upscale,
         )

@@ -100,6 +100,21 @@ class ContainerRuntime:
         self.total_arrivals = 0
         self.total_time_from_start = 0.0
 
+    def reset_window(self) -> None:
+        """Discard the in-progress window (container restart semantics).
+
+        A restarted container's runtime starts a fresh reporting window
+        at the restart time: pre-crash partial sums describe a process
+        that no longer exists and would skew the controller's first
+        post-restart window.  Lifetime totals are kept (profiling reads
+        them once, before any fault fires).  The live upscale stamp is
+        cleared — stamps live in the crashed process's memory.
+        """
+        self._reset_window()
+        self._window_start = self.sim.now
+        self._stamp_ttl = 0
+        self._stamp_until = -1.0
+
     def _reset_window(self) -> None:
         self._sum_exec = 0.0
         self._sum_wait = 0.0

@@ -135,6 +135,21 @@ class ConnectionPool:
         else:
             self.in_flight -= 1
 
+    def flush(self) -> int:
+        """Drop all in-flight grants and queued waiters (crash semantics).
+
+        When the owning service instance crashes, its threads die with
+        it: connections held by in-flight calls are gone (the matching
+        ``release()`` will never come — callers are marked dead and must
+        not release after a flush) and queued acquirers are abandoned.
+        Returns the number of waiters discarded.  Cumulative statistics
+        are left intact — they describe history, not live state.
+        """
+        dropped = len(self._waiters)
+        self.in_flight = 0
+        self._waiters.clear()
+        return dropped
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cap = "inf" if self.capacity is None else str(self.capacity)
         return (

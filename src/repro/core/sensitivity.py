@@ -141,6 +141,16 @@ class SensitivityTracker:
         s = self.sensitivity(container, cores - self.step)
         return s is not None and s < threshold
 
+    def forget(self, container: str) -> None:
+        """Drop all learned state for ``container`` (crash/restart).
+
+        The paper's sensitivity curves are per-*process* observations; a
+        restarted container starts cold and must be re-learned rather
+        than judged on averages from the dead process.  No-op for
+        containers never observed.
+        """
+        self._exec_avg.pop(container, None)
+
     def nonfinite_entries(self) -> list:
         """(container, cores, value) triples whose stored EWMA is not finite.
 

@@ -30,6 +30,8 @@ from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.controllers.base import Controller, ControllerStats
 from repro.controllers.null import NullController
 from repro.controllers.targets import TargetConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.summary import LatencySummary, summarize
 from repro.services.registry import get_workload, node_budget
 from repro.services.taskgraph import AppSpec
@@ -105,6 +107,11 @@ class ExperimentConfig:
     #: triples in absolute simulated time (the abstract's second surge
     #: type).  Applied to the measured run only — profiling stays clean.
     latency_surges: Tuple[Tuple[float, float, float], ...] = ()
+    #: Injected faults + RPC resilience policy (see :mod:`repro.faults`).
+    #: Applied to the measured run only — profiling stays clean, and the
+    #: profile cache key deliberately excludes faults so faulty and
+    #: fault-free cells of one workload share a profiling pass.
+    faults: Optional[FaultPlan] = None
 
     def resolved_rate(self) -> float:
         if self.base_rate is not None:
@@ -144,6 +151,12 @@ class ExperimentResult:
     fast_path_packets: int = 0
     #: FirstResponder slack violations detected (SurgeGuard runs only).
     fast_path_violations: int = 0
+    #: Requests that completed as errors (always 0 without faults).
+    errors: int = 0
+    #: Requests injected over the whole run (warmup + measurement).
+    requests_sent: int = 0
+    #: Injector counter snapshot (``None`` on fault-free runs).
+    fault_stats: Optional[Dict[str, int]] = None
 
     @property
     def violation_volume(self) -> float:
@@ -152,6 +165,11 @@ class ExperimentResult:
     @property
     def p98(self) -> float:
         return self.summary.p98
+
+    @property
+    def error_rate(self) -> float:
+        """Errored fraction of every injected request (whole run)."""
+        return self.errors / self.requests_sent if self.requests_sent else 0.0
 
 
 # --------------------------------------------------------------------------
@@ -326,6 +344,15 @@ def run_experiment(
     controller = cfg.controller_factory()
     controller.attach(sim, cluster, targets)
 
+    # Arm faults after attach (escalators exist for the restart hook)
+    # and before monitors (so conservation checks see the RPC layer) and
+    # before controller.start (stall gates must precede the decision
+    # loops' method binding in PeriodicProcess).
+    injector = None
+    if cfg.faults is not None and not cfg.faults.empty:
+        injector = FaultInjector(cfg.faults)
+        injector.arm(sim, cluster, controller=controller)
+
     # Snapshot accounting integrals at the measurement boundary.
     snap: Dict[str, Tuple[float, float]] = {}
 
@@ -347,6 +374,10 @@ def run_experiment(
         monitors.finalize()
     if probe is not None:
         probe(sim, cluster)
+    fault_stats = None
+    if injector is not None:
+        fault_stats = injector.fault_stats()
+        injector.disarm()
 
     # Measurement-window metrics.
     t, lat = client.stats.completed_arrays()
@@ -378,4 +409,7 @@ def run_experiment(
         outstanding=client.stats.outstanding,
         fast_path_packets=getattr(controller, "packets_inspected", 0),
         fast_path_violations=getattr(controller, "fast_path_violations", 0),
+        errors=client.stats.errored,
+        requests_sent=client.stats.sent,
+        fault_stats=fault_stats,
     )

@@ -20,6 +20,7 @@ import contextlib
 import csv
 import dataclasses
 import io
+import math
 import os
 import sys
 import time
@@ -34,8 +35,12 @@ def _flat_value(v):
 
     Scalars pass through; sequences of scalars are flattened to a
     ``;``-joined string; arrays are summarized by shape; anything else
-    is stringified.  Nothing is silently dropped.
+    is stringified.  Nothing is silently dropped.  Non-finite floats
+    (``inf``/``nan``) are stringified: they are not valid JSON, and CSV
+    consumers parsing the export as JSON-typed columns would choke.
     """
+    if isinstance(v, float) and not math.isfinite(v):
+        return str(v)
     if isinstance(v, (int, float, str, bool)) or v is None:
         return v
     if isinstance(v, (tuple, list)):
@@ -127,6 +132,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": _driver("fig14_alloc_timeline", data_fn=None),
     "fig15": _driver("fig15_breakdown", data_fn="run_fig15"),
     "overheads": _driver("overheads", data_fn=None),
+    "resilience": _driver("resilience", data_fn="run_resilience"),
 }
 
 

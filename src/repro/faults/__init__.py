@@ -1,0 +1,33 @@
+"""Deterministic fault injection and RPC resilience.
+
+Split the way the cluster package splits mechanism from assembly:
+
+* :mod:`repro.faults.plan` — frozen, picklable fault *descriptions*
+  (loss windows, container crashes, controller stalls, the RPC policy);
+* :mod:`repro.faults.rpc` — the caller-side timeout/retry/error layer;
+* :mod:`repro.faults.injector` — arms a plan against a live run.
+
+Fault-free runs never import-execute any of this beyond the ``None``
+checks on ``cluster.rpc`` / ``instance.rpc`` and are bit-identical to
+pre-faults goldens.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ContainerCrash,
+    ControllerStall,
+    FaultPlan,
+    LossWindow,
+    RpcPolicy,
+)
+from repro.faults.rpc import RpcCaller
+
+__all__ = [
+    "ContainerCrash",
+    "ControllerStall",
+    "FaultInjector",
+    "FaultPlan",
+    "LossWindow",
+    "RpcCaller",
+    "RpcPolicy",
+]

@@ -1,0 +1,168 @@
+"""RPC resilience: per-call timeouts, bounded retries, error completion.
+
+:class:`RpcCaller` wraps the network's fire-and-forget ``send`` with the
+standard client-library loop (gRPC/Finagle shape):
+
+* every call arms a timeout; the first response for the *current or any
+  previous* attempt wins and cancels it;
+* a timed-out attempt is retransmitted after exponential backoff with
+  multiplicative jitter, up to ``max_retries`` retries;
+* retries additionally spend from a token-bucket **retry budget**
+  (refilled by delivered responses) when the policy sets one — the
+  storm brake that keeps timeout-retry feedback from amplifying a
+  transient overload into a metastable collapse;
+* exhaustion (of retries or budget) completes the call as an **error**
+  via ``on_error`` — a call can resolve exactly once and can never hang;
+* an ``error=True`` response (a failure the callee itself propagated) is
+  terminal and is delivered without consuming retries: transport loss is
+  retryable, an application-level failure is not.
+
+Determinism: backoff jitter is the only randomness and comes from the
+dedicated ``faults.rpc`` stream, so arming the layer with a no-fault
+plan consumes zero draws from every other stream.  Duplicate responses
+(a retransmission racing a slow original — duplicated server work is
+real and intended) are absorbed by the per-call ``done`` latch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.packet import RpcPacket
+from repro.faults.plan import RpcPolicy
+from repro.sim.engine import EventHandle, Simulator
+
+__all__ = ["RpcCaller"]
+
+
+class _Call:
+    """State of one logical RPC call across its attempts."""
+
+    __slots__ = ("pkt", "on_reply", "on_error", "attempt", "timer", "done")
+
+    def __init__(self, pkt: RpcPacket, on_reply, on_error):
+        self.pkt = pkt
+        self.on_reply = on_reply
+        self.on_error = on_error
+        self.attempt = 0
+        #: Pending timeout *or* backoff event (at most one at a time).
+        self.timer: Optional[EventHandle] = None
+        self.done = False
+
+
+class RpcCaller:
+    """Timeout/retry wrapper shared by every edge of one cluster.
+
+    Parameters
+    ----------
+    sim, network:
+        The simulation and the fabric to send on.
+    policy:
+        Timeout/retry/backoff parameters.
+    rng:
+        Dedicated stream for backoff jitter (``faults.rpc``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        policy: RpcPolicy,
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.network = network
+        self.policy = policy
+        self.rng = rng
+        # ---- counters (fingerprinted under faults, monitor-checked) ----
+        self.calls = 0
+        self.retries = 0
+        self.errors = 0
+        self.expirations = 0
+        self.open_calls = 0
+        self.max_attempts_observed = 0
+        #: Timeouts failed fast because the retry budget was drained.
+        self.budget_exhausted = 0
+        self._budget_on = policy.retry_budget is not None
+        #: Token bucket: starts full so cold-start faults can retry.
+        self._retry_tokens = policy.retry_burst if self._budget_on else 0.0
+
+    # ------------------------------------------------------------------ API
+    def call(
+        self,
+        pkt: RpcPacket,
+        on_reply: Callable[[RpcPacket], None],
+        on_error: Callable[[RpcPacket], None],
+    ) -> None:
+        """Send ``pkt`` with timeout/retry protection.
+
+        Exactly one of ``on_reply(response)`` / ``on_error(pkt)`` fires,
+        exactly once, in bounded time.
+        """
+        self.calls += 1
+        self.open_calls += 1
+        self._attempt(_Call(pkt, on_reply, on_error))
+
+    # ------------------------------------------------------------ internals
+    def _attempt(self, call: _Call) -> None:
+        call.attempt += 1
+        if call.attempt > self.max_attempts_observed:
+            self.max_attempts_observed = call.attempt
+        out = call.pkt if call.attempt == 1 else call.pkt.clone_retry()
+        out.context = lambda resp: self._on_reply(call, resp)
+        call.timer = self.sim.schedule(self.policy.timeout, self._on_timeout, call)
+        self.network.send(out)
+
+    def _on_reply(self, call: _Call, resp: RpcPacket) -> None:
+        if call.done:
+            return  # stale duplicate from a superseded attempt
+        call.done = True
+        if self._budget_on:
+            # Any delivered response proves the transport is moving and
+            # earns budget (error responses included — they traveled).
+            tokens = self._retry_tokens + self.policy.retry_budget
+            burst = self.policy.retry_burst
+            self._retry_tokens = tokens if tokens < burst else burst
+        if call.timer is not None:
+            call.timer.cancel()
+            call.timer = None
+        self.open_calls -= 1
+        call.on_reply(resp)
+
+    def _on_timeout(self, call: _Call) -> None:
+        call.timer = None
+        if call.done:  # pragma: no cover - reply cancels the timer
+            return
+        self.expirations += 1
+        exhausted = call.attempt > self.policy.max_retries
+        if not exhausted and self._budget_on and self._retry_tokens < 1.0:
+            # Storm brake: the bucket is dry, fail fast instead of
+            # adding retransmission load to an already-slow system.
+            self.budget_exhausted += 1
+            exhausted = True
+        if exhausted:
+            call.done = True
+            self.open_calls -= 1
+            self.errors += 1
+            call.on_error(call.pkt)
+            return
+        if self._budget_on:
+            self._retry_tokens -= 1.0
+        self.retries += 1
+        p = self.policy
+        delay = p.backoff_base * p.backoff_factor ** (call.attempt - 1)
+        if p.backoff_jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 + float(self.rng.random()) * p.backoff_jitter
+        if delay > 0.0:
+            call.timer = self.sim.schedule(delay, self._backoff_fire, call)
+        else:
+            self._attempt(call)
+
+    def _backoff_fire(self, call: _Call) -> None:
+        call.timer = None
+        if call.done:
+            return  # the straggling response arrived during the backoff
+        self._attempt(call)

@@ -104,11 +104,24 @@ class LatencyHistogram:
 
     @property
     def min(self) -> float:
-        """Exact minimum recorded value (``inf`` when empty)."""
+        """Exact minimum recorded value (``0.0`` when empty).
+
+        An empty histogram must not report ``inf``: the value flows into
+        latency summaries and JSON/CSV export, and ``inf`` is not valid
+        JSON.  ``0.0`` matches :attr:`max` and :attr:`mean` on empty.
+        """
+        if self.total == 0:
+            return 0.0
         return float(self._min_seen)
 
     def percentile(self, p: float) -> float:
-        """Approximate ``p``-th percentile (0 < p ≤ 100)."""
+        """Approximate ``p``-th percentile (0 < p ≤ 100).
+
+        The raw bucket midpoint is clamped into ``[self.min, self.max]``
+        (as HdrHistogram does): the geometric midpoint of the top
+        occupied bucket can exceed the exact tracked maximum, and a
+        reported P99.9 above the true max is nonsense.
+        """
         if not 0 < p <= 100:
             raise ValueError("p must be in (0, 100]")
         if self.total == 0:
@@ -116,7 +129,12 @@ class LatencyHistogram:
         target = int(np.ceil(self.total * p / 100.0))
         cum = np.cumsum(self.counts)
         idx = int(np.searchsorted(cum, target))
-        return self._bucket_value(idx)
+        value = self._bucket_value(idx)
+        if value > self._max_seen:
+            return self._max_seen
+        if value < self._min_seen:
+            return float(self._min_seen)
+        return value
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold ``other`` into this histogram (layouts must match)."""

@@ -37,6 +37,24 @@ def excess_latency(latencies: Sequence[float], qos: float) -> np.ndarray:
     return np.maximum(lat - qos, 0.0)
 
 
+def _segment_masks(e0: np.ndarray, e1: np.ndarray):
+    """Shared segment classification for both violation metrics.
+
+    One convention for samples exactly at the QoS target, used by
+    *both* :func:`violation_volume` and :func:`violation_duration`:
+
+    * ``above`` — both endpoints ``>= 0`` with at least one ``> 0``
+      (a segment flat at exactly the target meets QoS, so it is below);
+    * ``below`` — both endpoints ``<= 0``;
+    * ``crossing`` — everything else, i.e. strictly opposite signs —
+      which guarantees ``e0 - e1 != 0`` for the crossing-point formula.
+    """
+    below = (e0 <= 0) & (e1 <= 0)
+    above = (e0 >= 0) & (e1 >= 0) & ~below
+    crossing = ~(above | below)
+    return above, below, crossing
+
+
 def violation_volume(
     times: Sequence[float], latencies: Sequence[float], qos: float
 ) -> float:
@@ -64,20 +82,18 @@ def violation_volume(
     e1 = y[1:] - qos  # excess at segment ends
     dt = np.diff(t)
 
-    both_above = (e0 >= 0) & (e1 >= 0)
-    both_below = (e0 <= 0) & (e1 <= 0)
-    crossing = ~(both_above | both_below)
+    above, _below, crossing = _segment_masks(e0, e1)
 
     area = np.zeros_like(dt)
     # Fully-above segments: plain trapezoid of the excess.
-    area[both_above] = 0.5 * (e0[both_above] + e1[both_above]) * dt[both_above]
+    area[above] = 0.5 * (e0[above] + e1[above]) * dt[above]
     # Crossing segments: the excess line crosses zero at fraction
     # f = e_pos / (e_pos - e_neg); the above-zero part is a triangle.
     if np.any(crossing):
         ec0 = e0[crossing]
         ec1 = e1[crossing]
         dtc = dt[crossing]
-        denom = ec0 - ec1  # nonzero on crossing segments by construction
+        denom = ec0 - ec1  # strictly opposite signs, hence nonzero
         up = ec0 > 0  # above at the start (descending crossing)
         tri = np.where(
             up,
@@ -100,16 +116,14 @@ def violation_duration(
     e0 = y[:-1] - qos
     e1 = y[1:] - qos
     dt = np.diff(t)
-    both_above = (e0 > 0) & (e1 > 0)
-    both_below = (e0 <= 0) & (e1 <= 0)
-    crossing = ~(both_above | both_below)
+    above, _below, crossing = _segment_masks(e0, e1)
     dur = np.zeros_like(dt)
-    dur[both_above] = dt[both_above]
+    dur[above] = dt[above]
     if np.any(crossing):
         ec0 = e0[crossing]
         ec1 = e1[crossing]
         dtc = dt[crossing]
-        denom = np.where(ec0 == ec1, 1.0, ec0 - ec1)
+        denom = ec0 - ec1  # strictly opposite signs, hence nonzero
         up = ec0 > 0
         frac_above = np.where(up, ec0 / denom, -ec1 / denom)
         dur[crossing] = np.clip(frac_above, 0.0, 1.0) * dtc

@@ -15,8 +15,11 @@ from typing import Iterable, Optional
 from repro.validate.runner import run_matrix
 from repro.validate.scenarios import (
     CONTROLLERS,
+    FAULT_CONTROLLERS,
+    FAULT_SCENARIOS,
     SCENARIOS,
     WORKLOADS,
+    fault_matrix,
     scenario_matrix,
 )
 
@@ -38,8 +41,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         help="restrict to a controller (repeatable)",
     )
     parser.add_argument(
-        "--scenario", action="append", choices=SCENARIOS,
-        help="restrict to a traffic shape (repeatable)",
+        "--scenario", action="append", choices=SCENARIOS + FAULT_SCENARIOS,
+        help="restrict to a traffic shape or fault scenario (repeatable)",
     )
     parser.add_argument(
         "--update-golden", action="store_true",
@@ -54,11 +57,24 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
+    # The two families share the filter flags: each family keeps the
+    # scenario names it recognises (a fault-only filter yields no base
+    # cells and vice versa), and fault cells exist only for the chain
+    # workload and its controller subset.
+    base_shapes = fault_shapes = None
+    if args.scenario is not None:
+        base_shapes = [s for s in args.scenario if s in SCENARIOS]
+        fault_shapes = [s for s in args.scenario if s in FAULT_SCENARIOS]
+    fault_ctrls = None
+    if args.controller is not None:
+        fault_ctrls = [c for c in args.controller if c in FAULT_CONTROLLERS]
     cells = scenario_matrix(
         workloads=args.workload,
         controllers=args.controller,
-        scenarios=args.scenario,
+        scenarios=base_shapes,
     )
+    if args.workload is None or "chain" in args.workload:
+        cells += fault_matrix(controllers=fault_ctrls, scenarios=fault_shapes)
     if args.list:
         for cell in cells:
             print(cell.key)

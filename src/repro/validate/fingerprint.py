@@ -26,7 +26,7 @@ __all__ = ["fingerprint_diff", "scenario_fingerprint"]
 def scenario_fingerprint(result: ExperimentResult, sim, cluster) -> dict:
     """Extract the committed-golden fingerprint of one scenario run."""
     stats = result.controller_stats
-    return {
+    fp = {
         "violation_volume": result.summary.violation_volume,
         "violation_duration": result.summary.violation_duration,
         "p99": result.summary.p99,
@@ -48,6 +48,12 @@ def scenario_fingerprint(result: ExperimentResult, sim, cluster) -> dict:
         "fast_path_packets": result.fast_path_packets,
         "fast_path_violations": result.fast_path_violations,
     }
+    if getattr(result.config, "faults", None) is not None:
+        # Added only for fault cells so pre-faults goldens stay
+        # byte-identical (fingerprint_diff flags absent keys).
+        fp["errors"] = result.errors
+        fp["fault_stats"] = dict(result.fault_stats or {})
+    return fp
 
 
 def _flatten(prefix: str, value) -> List[tuple]:

@@ -33,6 +33,7 @@ from repro.sim.engine import Simulator
 __all__ = [
     "CoreFeasibilityMonitor",
     "EscalatorSanityMonitor",
+    "FaultResilienceMonitor",
     "FrequencyBoundsMonitor",
     "InvariantMonitor",
     "InvariantViolation",
@@ -134,8 +135,17 @@ class InvariantMonitor:
 
 class RequestConservationMonitor(InvariantMonitor):
     """No request is created or lost: every ``client_send`` is either
-    completed (a RESPONSE reached the client) or still in flight when
-    the run stops — and a fully-drained simulation has zero in flight.
+    completed (a RESPONSE reached the client), resolved as an error, or
+    still in flight when the run stops — and a fully-drained simulation
+    has zero in flight.
+
+    Fault-free runs (``cluster.rpc is None``) keep the exact strict
+    equalities.  With the RPC resilience layer armed the ledger gains
+    principled slack: retransmissions may deliver more client requests
+    than were injected (bounded by the retry counter), and loss may
+    deliver fewer — but responses can never exceed delivered requests,
+    completions can never exceed delivered responses, and a drained run
+    must still resolve every injected request (completed or errored).
     """
 
     name = "request-conservation"
@@ -163,16 +173,33 @@ class RequestConservationMonitor(InvariantMonitor):
         assert self.cluster is not None and self.sim is not None
         self.checks += 1
         ingress = self.cluster.ingress_count
-        if self.client_responses_seen > ingress:
-            self.record(
-                f"{self.client_responses_seen} responses reached the client "
-                f"but only {ingress} requests were ever injected"
-            )
-        if self.client_requests_seen > ingress:
-            self.record(
-                f"{self.client_requests_seen} client requests delivered vs "
-                f"{ingress} injected (duplication)"
-            )
+        rpc = self.cluster.rpc
+        if rpc is None:
+            if self.client_responses_seen > ingress:
+                self.record(
+                    f"{self.client_responses_seen} responses reached the client "
+                    f"but only {ingress} requests were ever injected"
+                )
+            if self.client_requests_seen > ingress:
+                self.record(
+                    f"{self.client_requests_seen} client requests delivered vs "
+                    f"{ingress} injected (duplication)"
+                )
+        else:
+            # Retransmissions legitimately duplicate client requests —
+            # but never by more than the caller's own retry counter.
+            if self.client_requests_seen > ingress + rpc.retries:
+                self.record(
+                    f"{self.client_requests_seen} client requests delivered vs "
+                    f"{ingress} injected + {rpc.retries} retries "
+                    f"(unexplained duplication)"
+                )
+            if self.client_responses_seen > self.client_requests_seen:
+                self.record(
+                    f"{self.client_responses_seen} responses reached the "
+                    f"client but only {self.client_requests_seen} client "
+                    f"requests were ever delivered"
+                )
         net = self.cluster.network
         if net.packets_delivered > net.packets_sent:
             self.record(
@@ -187,21 +214,38 @@ class RequestConservationMonitor(InvariantMonitor):
                     f"client reports {stats.sent} sends but cluster ingress "
                     f"counted {ingress}"
                 )
-            if stats.completed != self.client_responses_seen:
-                self.record(
-                    f"client reports {stats.completed} completions but "
-                    f"{self.client_responses_seen} responses were delivered"
-                )
-            in_flight = stats.sent - stats.completed
+            errored = getattr(stats, "errored", 0)
+            if rpc is None:
+                if errored:
+                    self.record(
+                        f"client recorded {errored} errored request(s) with "
+                        f"no RPC resilience layer armed"
+                    )
+                if stats.completed != self.client_responses_seen:
+                    self.record(
+                        f"client reports {stats.completed} completions but "
+                        f"{self.client_responses_seen} responses were delivered"
+                    )
+            else:
+                # Duplicate/stale responses are absorbed by the RPC done
+                # latch and error responses resolve as errors, so
+                # completions can only consume a subset of deliveries.
+                if stats.completed + errored > self.client_responses_seen + rpc.errors:
+                    self.record(
+                        f"client resolved {stats.completed}+{errored} requests "
+                        f"but only {self.client_responses_seen} responses were "
+                        f"delivered and {rpc.errors} calls errored locally"
+                    )
+            in_flight = stats.sent - stats.completed - errored
             if in_flight < 0:
                 self.record(
-                    f"more completions ({stats.completed}) than sends "
-                    f"({stats.sent})"
+                    f"more resolutions ({stats.completed}+{errored}) than "
+                    f"sends ({stats.sent})"
                 )
             if self.sim.live_events_pending == 0 and in_flight != 0:
                 self.record(
                     f"simulation fully drained with {in_flight} request(s) "
-                    f"neither completed nor in flight (lost)"
+                    f"neither completed, errored, nor in flight (lost)"
                 )
 
     def _disarm(self) -> None:
@@ -426,6 +470,72 @@ class EscalatorSanityMonitor(InvariantMonitor):
         self._hooked = []
 
 
+class FaultResilienceMonitor(InvariantMonitor):
+    """Fault handling is airtight: retries are bounded, timers are
+    cleaned up, and crashes orphan nothing.
+
+    Pure finalize-time checks (nothing is hooked), so arming it on a
+    fault-free run is free and still proves the no-orphan / ledger
+    invariants of the plain path:
+
+    * every service instance's request ledger balances —
+      ``started == completed + failed + killed`` once drained, and no
+      invocation is still registered live;
+    * with the RPC layer armed: observed attempts never exceed
+      ``max_retries + 1``, every call resolved exactly once
+      (``open_calls == 0`` once drained — a leaked timeout timer or a
+      double resolution would break the count), and the error counter
+      matches what the policy allows (``errors <= calls``).
+    """
+
+    name = "fault-resilience"
+
+    def _finalize(self) -> None:
+        assert self.cluster is not None and self.sim is not None
+        drained = self.sim.live_events_pending == 0
+        for name, inst in self.cluster.instances.items():
+            self.checks += 1
+            live = len(getattr(inst, "_live", ()))
+            if drained and live:
+                self.record(
+                    f"instance {name!r} drained with {live} invocation(s) "
+                    f"still registered live (orphaned in-flight state)"
+                )
+            started = inst.requests_started
+            resolved = (
+                inst.requests_completed
+                + inst.requests_failed
+                + inst.inflight_killed
+            )
+            if drained and started != resolved:
+                self.record(
+                    f"instance {name!r}: {started} requests started but "
+                    f"{resolved} resolved (completed "
+                    f"{inst.requests_completed} + failed "
+                    f"{inst.requests_failed} + killed "
+                    f"{inst.inflight_killed})"
+                )
+        rpc = self.cluster.rpc
+        if rpc is None:
+            return
+        self.checks += 1
+        allowed = rpc.policy.max_retries + 1
+        if rpc.max_attempts_observed > allowed:
+            self.record(
+                f"a call reached {rpc.max_attempts_observed} attempts; the "
+                f"policy allows at most {allowed} (retries unbounded)"
+            )
+        if drained and rpc.open_calls != 0:
+            self.record(
+                f"simulation drained with {rpc.open_calls} RPC call(s) "
+                f"unresolved (leaked timer or lost resolution)"
+            )
+        if rpc.errors > rpc.calls:
+            self.record(
+                f"{rpc.errors} RPC errors recorded for only {rpc.calls} calls"
+            )
+
+
 def default_monitors() -> List[InvariantMonitor]:
     """One fresh instance of every built-in monitor."""
     return [
@@ -434,6 +544,7 @@ def default_monitors() -> List[InvariantMonitor]:
         FrequencyBoundsMonitor(),
         TraceCausalityMonitor(),
         EscalatorSanityMonitor(),
+        FaultResilienceMonitor(),
     ]
 
 

@@ -24,12 +24,22 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig
+from repro.faults.plan import (
+    ContainerCrash,
+    ControllerStall,
+    FaultPlan,
+    LossWindow,
+    RpcPolicy,
+)
 
 __all__ = [
     "CONTROLLERS",
+    "FAULT_CONTROLLERS",
+    "FAULT_SCENARIOS",
     "SCENARIOS",
     "WORKLOADS",
     "Scenario",
+    "fault_matrix",
     "scenario_matrix",
 ]
 
@@ -95,6 +105,114 @@ def _cell_config(workload_key: str, controller: str, scenario: str) -> Experimen
         t0 = _BASE["warmup"] + 0.5
         return replace(cfg, latency_surges=((t0, t0 + 0.5, 2e-3),))
     raise ValueError(f"unknown scenario {scenario!r}")
+
+
+#: Fault-family controllers (the resilience comparison set: no control,
+#: the paper's system, and the strongest reactive baseline).
+FAULT_CONTROLLERS: Tuple[str, ...] = ("null", "surgeguard", "parties")
+
+#: Fault-family scenarios (see :mod:`repro.faults`).
+FAULT_SCENARIOS: Tuple[str, ...] = (
+    "loss-burst",
+    "crash-during-surge",
+    "stalled-controller",
+)
+
+#: Shared fault-cell RPC policy.  The 250 ms timeout sits far above the
+#: steady-state latency tail (~8 ms end-to-end) but inside the worst
+#: congested tails (~700 ms) — a request that slow is deeply
+#: QoS-violating either way, so the error rate becomes part of the
+#: controller differential.  The retry budget is the storm brake: the
+#: matrix runs near saturation, where unbudgeted timeout retries turn
+#: one loss burst into a permanent metastable collapse that drowns any
+#: controller signal.  Every cell uses ``drain=2.0`` so the worst-case
+#: call resolution (~0.9 s after the last injection) lands inside the
+#: run and the drained-ledger invariants stay checkable.
+_FAULT_RPC = RpcPolicy(
+    timeout=0.25,
+    max_retries=2,
+    backoff_base=20e-3,
+    retry_budget=0.1,
+    retry_burst=50.0,
+)
+
+#: The periodic rate surge shared by the crash / stall fault cells
+#: (identical shape to the ``rate-spike`` scenario).
+_SPIKE = dict(spike_magnitude=2.0, spike_len=0.5, spike_period=2.0, spike_offset=0.25)
+
+
+def _fault_cell_config(workload_key: str, controller: str, scenario: str) -> ExperimentConfig:
+    cfg = ExperimentConfig(
+        workload=workload_key,
+        controller_factory=spec(controller),
+        spike_magnitude=None,
+        **_BASE,
+    )
+    if scenario == "loss-burst":
+        # 30% loss for the middle half-second of measurement, steady
+        # rate: transport errors hit every controller identically; how
+        # fast the post-burst backlog drains is the differential.
+        return replace(
+            cfg,
+            drain=2.0,
+            faults=FaultPlan(loss_windows=(LossWindow(1.5, 2.0, 0.3),), rpc=_FAULT_RPC),
+        )
+    if scenario == "crash-during-surge":
+        # The mid-chain service dies at the peak of the first surge and
+        # comes back 300 ms later.
+        return replace(
+            cfg,
+            drain=2.0,
+            faults=FaultPlan(
+                crashes=(ContainerCrash("chain3", 1.4, 0.3),), rpc=_FAULT_RPC
+            ),
+            **_SPIKE,
+        )
+    if scenario == "stalled-controller":
+        # The decision loop is wedged across a full surge: reactive
+        # controllers cannot respond for 1.2 s; SurgeGuard's data-plane
+        # FirstResponder keeps running (it is not a decision cycle).
+        return replace(
+            cfg,
+            drain=2.0,
+            faults=FaultPlan(stalls=(ControllerStall(1.0, 2.2),), rpc=_FAULT_RPC),
+            **_SPIKE,
+        )
+    raise ValueError(f"unknown fault scenario {scenario!r}")
+
+
+def fault_matrix(
+    *,
+    controllers: Optional[List[str]] = None,
+    scenarios: Optional[List[str]] = None,
+) -> List[Scenario]:
+    """The fault-injection cells (chain family only — the crash target
+    is a mid-chain service, and one family keeps the matrix cheap)."""
+    ctrls = list(FAULT_CONTROLLERS) if controllers is None else controllers
+    shapes = list(FAULT_SCENARIOS) if scenarios is None else scenarios
+    cells = []
+    for controller in ctrls:
+        if controller not in FAULT_CONTROLLERS:
+            raise KeyError(
+                f"unknown fault controller {controller!r}; "
+                f"known: {list(FAULT_CONTROLLERS)}"
+            )
+        for scenario in shapes:
+            if scenario not in FAULT_SCENARIOS:
+                raise KeyError(
+                    f"unknown fault scenario {scenario!r}; "
+                    f"known: {list(FAULT_SCENARIOS)}"
+                )
+            cells.append(
+                Scenario(
+                    workload_family="chain",
+                    workload_key=WORKLOADS["chain"],
+                    controller=controller,
+                    scenario=scenario,
+                    config=_fault_cell_config(WORKLOADS["chain"], controller, scenario),
+                )
+            )
+    return cells
 
 
 def scenario_matrix(

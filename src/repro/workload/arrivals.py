@@ -132,6 +132,11 @@ class RateSchedule:
         """
         if units < 0:
             raise ValueError("units must be non-negative")
+        if units == 0:
+            # ∫_t^t rate du == 0 already: the identity, even when the
+            # segment containing t has zero rate (skipping ahead to the
+            # next nonzero segment would invent a time jump for nothing).
+            return t
         ends = self._seg_ends
         rates = self._seg_rates
         remaining = units

@@ -31,10 +31,15 @@ class ClientStats:
 
     #: Arrival (injection) timestamps, seconds.
     arrival_times: List[float] = field(default_factory=list)
-    #: End-to-end latencies; ``nan`` while a request is outstanding.
+    #: End-to-end latencies; ``nan`` while a request is outstanding and
+    #: for requests that completed as errors (their wall time measures
+    #: timeout policy, not service latency).
     latencies: List[float] = field(default_factory=list)
     sent: int = 0
     completed: int = 0
+    #: Requests that completed as an *error* (RPC retry exhaustion under
+    #: an armed fault layer).  Always 0 on fault-free runs.
+    errored: int = 0
 
     def completed_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """(arrival_times, latencies) of completed requests, time-ordered."""
@@ -45,8 +50,13 @@ class ClientStats:
 
     @property
     def outstanding(self) -> int:
-        """Requests injected but not completed when the run stopped."""
-        return self.sent - self.completed
+        """Requests injected but not resolved when the run stopped."""
+        return self.sent - self.completed - self.errored
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of injected requests that completed as errors."""
+        return self.errored / self.sent if self.sent else 0.0
 
 
 class OpenLoopClient:
@@ -131,7 +141,16 @@ class OpenLoopClient:
         self.stats.arrival_times.append(now)
         self.stats.latencies.append(float("nan"))
         self.stats.sent += 1
-        self.cluster.client_send(idx, self._make_callback(idx, now))
+        # The error callback only exists when the RPC resilience layer is
+        # armed — the fault-free hot path allocates nothing extra.
+        if self.cluster.rpc is None:
+            self.cluster.client_send(idx, self._make_callback(idx, now))
+        else:
+            self.cluster.client_send(
+                idx,
+                self._make_callback(idx, now),
+                on_error=self._make_error_callback(idx),
+            )
         if self._uniform:
             nxt = self._advance(now, 1.0)
         else:
@@ -140,11 +159,24 @@ class OpenLoopClient:
             self.sim.schedule_at(nxt, self._fire)
 
     def _make_callback(self, idx: int, arrival: float):
-        def cb(_pkt: RpcPacket) -> None:
+        def cb(pkt: RpcPacket) -> None:
+            if pkt.error:
+                # Propagated failure: the root completed the request as
+                # an error.  Recorded in the error ledger, not latency.
+                self.stats.errored += 1
+                return
             latency = self.sim.now - arrival
             self.stats.latencies[idx] = latency
             self.stats.completed += 1
             if self.on_complete is not None:
                 self.on_complete(idx, arrival, latency)
+
+        return cb
+
+    def _make_error_callback(self, idx: int):
+        def cb(_pkt: RpcPacket) -> None:
+            # Local retry exhaustion at the client→root call: no response
+            # ever arrived, but the request is resolved (not hung).
+            self.stats.errored += 1
 
         return cb

@@ -20,7 +20,7 @@ class TestCli:
             "table1", "table3",
             "fig04", "fig05", "fig06", "fig10",
             "fig11", "fig12", "fig13", "fig14", "fig15",
-            "overheads",
+            "overheads", "resilience",
         }
         assert expected <= set(EXPERIMENTS)
 
@@ -100,6 +100,16 @@ class TestRowsOf:
 
     def test_plain_items_wrapped(self):
         assert _rows_of([3.5]) == [{"value": 3.5}]
+
+    def test_non_finite_floats_stringified(self):
+        # Regression: an empty histogram's min leaked inf into the CSV
+        # export, which is not valid JSON for typed-column consumers.
+        import json
+
+        rows = _rows_of({"lo": float("inf"), "hi": float("-inf"), "n": float("nan")})
+        values = {r["key"]: r["value"] for r in rows}
+        assert values == {"lo": "inf", "hi": "-inf", "n": "nan"}
+        json.dumps(values)  # every exported value is JSON-clean
 
 
 class TestJobsFlag:

@@ -1,0 +1,93 @@
+"""Validation and value semantics of the declarative fault plans."""
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    ContainerCrash,
+    ControllerStall,
+    FaultPlan,
+    LossWindow,
+    RpcPolicy,
+)
+
+
+class TestWindowValidation:
+    def test_empty_loss_window_rejected(self):
+        with pytest.raises(ValueError):
+            LossWindow(1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            LossWindow(2.0, 1.0, 0.5)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            LossWindow(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            LossWindow(0.0, 1.0, 1.5)
+        LossWindow(0.0, 1.0, 1.0)  # total loss is a legal schedule
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError):
+            ContainerCrash("c", -1.0, 0.5)
+        with pytest.raises(ValueError):
+            ContainerCrash("c", 1.0, 0.0)
+
+    def test_stall_validation(self):
+        with pytest.raises(ValueError):
+            ControllerStall(2.0, 2.0)
+
+    def test_overlapping_loss_windows_rejected(self):
+        rpc = RpcPolicy()
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                loss_windows=(LossWindow(0.0, 2.0, 0.1), LossWindow(1.0, 3.0, 0.1)),
+                rpc=rpc,
+            )
+        # Touching windows are fine.
+        FaultPlan(
+            loss_windows=(LossWindow(0.0, 1.0, 0.1), LossWindow(1.0, 2.0, 0.1)),
+            rpc=rpc,
+        )
+
+
+class TestPolicyValidation:
+    def test_bad_parameters_rejected(self):
+        for kw in (
+            dict(timeout=0.0),
+            dict(max_retries=-1),
+            dict(backoff_base=-1.0),
+            dict(backoff_factor=0.5),
+            dict(backoff_jitter=-0.1),
+            dict(retry_budget=-0.1),
+            dict(retry_burst=0.5),
+        ):
+            with pytest.raises(ValueError):
+                RpcPolicy(**kw)
+
+    def test_loss_without_rpc_rejected(self):
+        # A dropped packet with no caller-side timeout hangs its request
+        # forever — a deterministic deadlock, not a scenario.
+        with pytest.raises(ValueError, match="RpcPolicy"):
+            FaultPlan(loss_windows=(LossWindow(0.0, 1.0, 0.5),))
+        with pytest.raises(ValueError, match="RpcPolicy"):
+            FaultPlan(crashes=(ContainerCrash("c", 1.0, 0.5),))
+        # Stalls drop nothing, so they stand alone.
+        FaultPlan(stalls=(ControllerStall(0.0, 1.0),))
+
+
+class TestPlanValueSemantics:
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(rpc=RpcPolicy()).empty
+        assert not FaultPlan(stalls=(ControllerStall(0.0, 1.0),)).empty
+
+    def test_picklable_and_hashable(self):
+        plan = FaultPlan(
+            loss_windows=(LossWindow(1.0, 2.0, 0.3),),
+            crashes=(ContainerCrash("c", 1.5, 0.2),),
+            stalls=(ControllerStall(0.5, 1.5),),
+            rpc=RpcPolicy(),
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))

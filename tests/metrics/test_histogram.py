@@ -45,6 +45,16 @@ class TestRecording:
         h.record_many([])
         assert h.total == 0
 
+    def test_empty_min_is_finite_zero(self):
+        # Regression: an empty histogram reported min = inf, which is
+        # not valid JSON and leaked into exported latency summaries.
+        h = LatencyHistogram()
+        assert h.min == 0.0
+        assert h.min == h.max == h.mean
+        import json
+
+        json.dumps({"min": h.min, "max": h.max})  # must not raise/emit Infinity
+
 
 class TestPercentiles:
     def test_percentile_relative_error_bounded(self):
@@ -66,6 +76,20 @@ class TestPercentiles:
 
     def test_percentile_empty_is_zero(self):
         assert LatencyHistogram().percentile(99) == 0.0
+
+    def test_percentile_clamped_into_min_max(self):
+        # Regression: the geometric midpoint of the top occupied bucket
+        # can exceed the exact tracked maximum, so an unclamped P99.9
+        # would report a latency no request ever saw.
+        h = LatencyHistogram()
+        h.record_many([5e-3] * 100)
+        assert h.percentile(99.9) == h.max
+        assert h.percentile(1) == h.min
+        rng = np.random.default_rng(3)
+        h2 = LatencyHistogram()
+        h2.record_many(rng.lognormal(np.log(5e-3), 1.0, 10000))
+        for p in (1, 50, 99, 99.9, 100):
+            assert h2.min <= h2.percentile(p) <= h2.max
 
     def test_invalid_percentile_rejected(self):
         h = LatencyHistogram()

@@ -44,6 +44,10 @@ class _ReferenceSchedule:
         return segs
 
     def advance(self, t: float, units: float) -> float:
+        if units == 0:
+            # Matches the zero-units identity fix in RateSchedule: the
+            # integral is already met at t, even at zero rate.
+            return t
         remaining = units
         cur = t
         for seg_end, rate in self._boundaries_after(t):

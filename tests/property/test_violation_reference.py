@@ -152,6 +152,18 @@ def test_duration_never_exceeds_span_and_bounds_volume(trace, qos):
     assert vv <= max_excess * dur + 1e-9
 
 
+@given(traces, qos_values)
+def test_volume_and_duration_agree_on_violation_presence(trace, qos):
+    """Regression for the boundary-convention split: with the shared
+    segment classification, positive area and positive time-above are
+    the *same* predicate — one metric must never report a violation the
+    other calls clean."""
+    t, y = arrays(trace)
+    vv = violation_volume(t, y, qos)
+    dur = violation_duration(t, y, qos)
+    assert (vv > 0.0) == (dur > 0.0)
+
+
 @given(traces, qos_values, st.floats(0.1, 1000.0, allow_nan=False))
 def test_volume_time_translation_invariant(trace, qos, shift):
     t, y = arrays(trace)

@@ -91,5 +91,6 @@ class TestMonitorSetFingerprints:
             "frequency-bounds",
             "trace-causality",
             "escalator-sanity",
+            "fault-resilience",
         }
         assert all(v == 0 for v in monitors.by_monitor().values())

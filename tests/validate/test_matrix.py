@@ -16,8 +16,11 @@ from repro.validate.runner import (
 )
 from repro.validate.scenarios import (
     CONTROLLERS,
+    FAULT_CONTROLLERS,
+    FAULT_SCENARIOS,
     SCENARIOS,
     WORKLOADS,
+    fault_matrix,
     scenario_matrix,
 )
 
@@ -41,6 +44,36 @@ class TestMatrixConstruction:
         with pytest.raises(KeyError):
             scenario_matrix(scenarios=["nope"])
 
+    def test_fault_matrix_shape(self):
+        cells = fault_matrix()
+        assert len(cells) == len(FAULT_CONTROLLERS) * len(FAULT_SCENARIOS)
+        assert {c.workload_family for c in cells} == {"chain"}
+        # Fault keys never collide with the base matrix.
+        base_keys = {c.key for c in scenario_matrix()}
+        assert not base_keys & {c.key for c in cells}
+
+    def test_fault_matrix_filtering_and_rejection(self):
+        cells = fault_matrix(controllers=["surgeguard"], scenarios=["loss-burst"])
+        assert [c.key for c in cells] == ["chain/surgeguard/loss-burst"]
+        with pytest.raises(KeyError):
+            fault_matrix(controllers=["caladan"])
+        with pytest.raises(KeyError):
+            fault_matrix(scenarios=["steady"])
+
+    def test_fault_cells_carry_plans_with_rpc(self):
+        for cell in fault_matrix():
+            plan = cell.config.faults
+            assert plan is not None and not plan.empty, cell.key
+            assert plan.rpc is not None, cell.key
+            if cell.scenario == "loss-burst":
+                assert plan.loss_windows and not plan.crashes and not plan.stalls
+            elif cell.scenario == "crash-during-surge":
+                assert plan.crashes and not plan.loss_windows and not plan.stalls
+            else:
+                assert plan.stalls and not plan.loss_windows and not plan.crashes
+        # Base cells never carry faults.
+        assert all(c.config.faults is None for c in scenario_matrix())
+
     def test_scenario_shapes(self):
         by_key = {c.key: c for c in scenario_matrix(workloads=["chain"])}
         steady = by_key["chain/null/steady"].config
@@ -57,7 +90,24 @@ class TestMatrixConstruction:
 class TestGoldenFile:
     def test_goldens_cover_the_full_matrix(self):
         goldens = load_goldens()
-        assert set(goldens) == {c.key for c in scenario_matrix()}
+        assert set(goldens) == {c.key for c in scenario_matrix() + fault_matrix()}
+
+    def test_fault_goldens_record_fault_activity(self):
+        goldens = load_goldens()
+        for cell in fault_matrix():
+            fp = goldens[cell.key]
+            stats = fp["fault_stats"]
+            if cell.scenario == "loss-burst":
+                assert stats["packets_dropped"] > 0, cell.key
+            elif cell.scenario == "crash-during-surge":
+                assert stats["crashes"] == 1, cell.key
+            elif cell.controller != "null":
+                # Stall cells: null has no decision loop to suppress.
+                assert stats["stalled_cycles"] > 0, cell.key
+        # Base cells must NOT have grown fault keys (golden stability).
+        for cell in scenario_matrix():
+            assert "fault_stats" not in goldens[cell.key], cell.key
+            assert "errors" not in goldens[cell.key], cell.key
 
     def test_goldens_report_zero_paper_invariant_breaks(self):
         # Structural sanity of the committed file itself: counts are
@@ -101,6 +151,16 @@ class TestMatrixSlices:
     @pytest.mark.parametrize("family", sorted(WORKLOADS))
     def test_family_slice(self, family):
         report = run_matrix(scenario_matrix(workloads=[family]), verbose=False)
+        failing = [
+            (c.scenario.key, c.violations, c.diffs, c.golden_missing)
+            for c in report.outcomes
+            if not c.ok
+        ]
+        assert report.ok, failing
+        assert report.total_violations == 0
+
+    def test_fault_slice(self):
+        report = run_matrix(fault_matrix(), verbose=False)
         failing = [
             (c.scenario.key, c.violations, c.diffs, c.golden_missing)
             for c in report.outcomes

@@ -57,6 +57,7 @@ class TestHealthyRunsAreClean:
             "frequency-bounds",
             "trace-causality",
             "escalator-sanity",
+            "fault-resilience",
         }
 
     def test_monitor_set_on_surgeguard_run(self, sim, make_cluster, small_app):

@@ -95,6 +95,14 @@ class TestAdvance:
         s = RateSchedule(100.0)
         assert s.advance(3.0, 0.0) == pytest.approx(3.0)
 
+    def test_zero_units_is_now_even_at_zero_rate(self):
+        # Regression: advance(t, 0) inside a zero-rate segment returned
+        # inf (the "never reaches" branch) instead of the identity t.
+        assert RateSchedule(0.0).advance(3.0, 0.0) == 3.0
+        s = RateSchedule(0.0, [Spike(1.0, 2.0, 50.0)])
+        assert s.advance(0.25, 0.0) == 0.25  # before the spike, rate 0
+        assert s.advance(2.5, 0.0) == 2.5  # after the spike, rate 0 forever
+
     def test_negative_units_rejected(self):
         with pytest.raises(ValueError):
             RateSchedule(1.0).advance(0.0, -1.0)
