@@ -271,6 +271,26 @@ class Cluster:
         defaults to ``on_response`` with a synthetic ``error=True``
         response so legacy callers still observe a completion.
         """
+        self._ingress_count += 1
+        if self.rpc is None:
+            # Direct path: the packet's ownership is unambiguous (the
+            # serving instance releases it at completion), so it comes
+            # from the pool.
+            self.network.send(
+                self.network.pool.acquire(
+                    request_id,
+                    REQUEST,
+                    CLIENT,
+                    self.app.root,
+                    self.sim.now,
+                    upscale,
+                    context=on_response,
+                )
+            )
+            return
+        # RPC path: the caller retains the packet across retry attempts
+        # while a slow server may still hold the same object (duplicated
+        # server work is real and intended), so requests stay unmanaged.
         pkt = RpcPacket(
             request_id=request_id,
             kind=REQUEST,
@@ -279,11 +299,6 @@ class Cluster:
             start_time=self.sim.now,
             upscale=upscale,
         )
-        self._ingress_count += 1
-        if self.rpc is None:
-            pkt.context = on_response
-            self.network.send(pkt)
-            return
         if on_error is None:
             def on_error(failed: RpcPacket) -> None:
                 on_response(failed.make_response(src=self.app.root, error=True))

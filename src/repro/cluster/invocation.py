@@ -194,6 +194,21 @@ class ServiceInstance:
         else:
             self.rpc.call(out, on_reply, on_error)
 
+    def _fork(self, inv: _Invocation, dst: str) -> RpcPacket:
+        """Next-hop request packet for ``inv``'s job.
+
+        Pool-managed only on the direct path: under the RPC layer the
+        caller's ``_Call`` retains the packet across retry attempts while
+        a slow server may still be working on the same object, so there
+        is no single point that could prove it dead and release it.
+        """
+        upscale = self.runtime.outgoing_upscale(inv.upscale_in)
+        if self.rpc is None:
+            return self.network.pool.fork_downstream(
+                inv.pkt, dst=dst, src=self.spec.name, upscale=upscale
+            )
+        return inv.pkt.fork_downstream(dst=dst, src=self.spec.name, upscale=upscale)
+
     # ------------------------------------------------------------- children
     def _after_pre(self, inv: _Invocation) -> None:
         if inv.dead:
@@ -209,9 +224,6 @@ class ServiceInstance:
             for i in range(len(children)):
                 self._start_parallel_child(inv, i)
 
-    def _outgoing_ttl(self, inv: _Invocation) -> int:
-        return self.runtime.outgoing_upscale(inv.upscale_in)
-
     def _start_sequential_child(self, inv: _Invocation) -> None:
         edge = self.spec.children[inv.child_idx]
         pool = self.pools[edge.child]
@@ -220,11 +232,7 @@ class ServiceInstance:
             if inv.dead:
                 return  # pool was flushed with the crash; do not send
             inv.conn_wait += wait
-            out = inv.pkt.fork_downstream(
-                dst=edge.child,
-                src=self.spec.name,
-                upscale=self._outgoing_ttl(inv),
-            )
+            out = self._fork(inv, edge.child)
             self._send_child(
                 out,
                 lambda resp: self._sequential_child_done(inv, pool, resp),
@@ -258,11 +266,7 @@ class ServiceInstance:
             if inv.dead:
                 return  # pool was flushed with the crash; do not send
             inv.par_waits.append(wait)
-            out = inv.pkt.fork_downstream(
-                dst=edge.child,
-                src=self.spec.name,
-                upscale=self._outgoing_ttl(inv),
-            )
+            out = self._fork(inv, edge.child)
             self._send_child(
                 out,
                 lambda resp: self._parallel_child_done(inv, pool, resp),
@@ -304,7 +308,13 @@ class ServiceInstance:
         self.requests_completed += 1
         exec_time = self.sim.now - inv.t_arrive
         self.runtime.on_complete(exec_time, inv.conn_wait)
-        self.network.send(inv.pkt.make_response(src=self.spec.name))
+        net = self.network
+        pkt = inv.pkt
+        net.send(net.pool.make_response(pkt, src=self.spec.name))
+        # Server-side release point: the request's life ends once its
+        # response is built (a no-op for unmanaged packets, i.e. whenever
+        # the RPC layer shares ownership with a possibly-live retry).
+        net.pool.release(pkt)
 
     def _finish_error(self, inv: _Invocation) -> None:
         """Complete ``inv`` as a failure: error response, no metrics.
@@ -316,4 +326,7 @@ class ServiceInstance:
         inv.dead = True  # any straggling branch callback must no-op
         self._live.discard(inv)
         self.requests_failed += 1
-        self.network.send(inv.pkt.make_response(src=self.spec.name, error=True))
+        net = self.network
+        pkt = inv.pkt
+        net.send(net.pool.make_response(pkt, src=self.spec.name, error=True))
+        net.pool.release(pkt)

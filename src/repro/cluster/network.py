@@ -29,6 +29,11 @@ window:
   the common case is one comparison.  Expired windows are pruned (sim
   time is monotonic on the send path), so long runs never scan dead
   surges.
+* **Packet recycling** — the network owns a
+  :class:`~repro.cluster.packet.PacketPool`; delivery is the central
+  release point for responses, so the steady state re-circulates a
+  handful of packet objects instead of allocating one per hop
+  (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.cluster.node import Node
-from repro.cluster.packet import RpcPacket
+from repro.cluster.packet import RESPONSE, PacketPool, RpcPacket
 
 __all__ = ["Network", "NetworkConfig"]
 
@@ -104,6 +109,13 @@ class Network:
         self.sim = sim
         self.config = config
         self.rng = rng
+        #: Free-list recycler for hot-path packets.  The network owns it
+        #: because the network is the one place every packet's life ends:
+        #: responses are released centrally in :meth:`_deliver` once the
+        #: destination handler returns (nothing retains a response —
+        #: callers copy what they need synchronously), and an armed loss
+        #: window releases what it drops.
+        self.pool = PacketPool()
         self._endpoints: Dict[str, Tuple[Optional[Node], Endpoint]] = {}
         self._surges: List[_LatencySurge] = []
         self._observers: List[Endpoint] = []
@@ -270,3 +282,9 @@ class Network:
         if node is not None:
             node.on_packet(packet)
         handler(packet)
+        if packet.kind == RESPONSE:
+            # Central release point: a response's life ends with its
+            # delivery — every consumer (client callback, invocation
+            # continuation, RPC reply latch, monitors, tracer) reads it
+            # synchronously inside ``handler`` and retains nothing.
+            self.pool.release(packet)

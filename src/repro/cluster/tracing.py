@@ -1,4 +1,4 @@
-"""Request-flow tracing: per-request span logs.
+"""Request-flow tracing: per-request span logs, stored columnar.
 
 A distributed-tracing facility for the simulated cluster, in the shape
 downstream users expect (Jaeger/Zipkin-like spans).  It taps the
@@ -11,6 +11,16 @@ root spans), producing one span tree per request:
 * no interference with controllers (hooks are read-only, zero modeled
   cost by default).
 
+**Storage layout.**  Recording runs on every delivered packet, so the
+tracer does not build one :class:`Span` object per visit.  Spans live in
+a :class:`SpanStore` — parallel columns (request id, container, parent,
+receive/complete timestamps) plus a per-request index — and ``Span``
+views are materialized lazily, only when a query asks for them.  The
+query API, :meth:`RequestTracer.critical_path`,
+:meth:`RequestTracer.causality_errors`, and the validate monitors built
+on them are unchanged, including the exact span ordering the old
+dict-of-lists layout produced.
+
 This is how the Fig. 14-style "where did the time go" questions get
 answered for arbitrary apps; the social-network example uses the
 aggregate metrics instead, but tests and users can go per-request here.
@@ -18,13 +28,16 @@ aggregate metrics instead, but tests and users can go per-request here.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
 
-__all__ = ["RequestTracer", "Span"]
+__all__ = ["RequestTracer", "Span", "SpanStore"]
+
+_NAN = float("nan")
 
 
 @dataclass
@@ -47,6 +60,126 @@ class Span:
         return self.t_complete - self.t_receive
 
 
+class SpanStore:
+    """Columnar span storage: parallel arrays plus a per-request index.
+
+    One row per (request, container) visit, in global arrival order.
+    ``t_complete`` uses NaN for still-open spans (a C double per row
+    instead of a boxed ``Optional[float]``).  Rows are never deleted;
+    :meth:`spans_of` materializes :class:`Span` views on demand in the
+    same order the previous dict-of-lists layout produced: receive time,
+    ties broken by container first-visit order, then by visit order
+    within the container.
+    """
+
+    __slots__ = (
+        "request_ids",
+        "containers",
+        "parents",
+        "t_receive",
+        "t_complete",
+        "_by_request",
+    )
+
+    def __init__(self) -> None:
+        self.request_ids: List[int] = []
+        self.containers: List[str] = []
+        self.parents: List[str] = []
+        self.t_receive = array("d")
+        self.t_complete = array("d")
+        #: request_id -> row indices in arrival order.
+        self._by_request: Dict[int, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.containers)
+
+    @property
+    def request_count(self) -> int:
+        """Distinct requests with at least one recorded span."""
+        return len(self._by_request)
+
+    def request_ids_seen(self) -> List[int]:
+        """Recorded request ids, sorted."""
+        return sorted(self._by_request)
+
+    def has_request(self, request_id: int) -> bool:
+        return request_id in self._by_request
+
+    # -------------------------------------------------------------- recording
+    def open(self, request_id: int, container: str, parent: str, t: float) -> int:
+        """Record a new open span; returns its row index."""
+        idx = len(self.containers)
+        rows = self._by_request.get(request_id)
+        if rows is None:
+            self._by_request[request_id] = [idx]
+        else:
+            rows.append(idx)
+        self.request_ids.append(request_id)
+        self.containers.append(container)
+        self.parents.append(parent)
+        self.t_receive.append(t)
+        self.t_complete.append(_NAN)
+        return idx
+
+    def close(self, request_id: int, container: str, t: float) -> bool:
+        """Close the most recent open span of ``container`` in this request."""
+        rows = self._by_request.get(request_id)
+        if rows is None:
+            return False
+        containers = self.containers
+        t_complete = self.t_complete
+        for i in reversed(rows):
+            if containers[i] == container and t_complete[i] != t_complete[i]:
+                t_complete[i] = t
+                return True
+        return False
+
+    def ingest(self, span: Span) -> int:
+        """Append a fully-formed span (synthetic traces in tests/tools)."""
+        idx = self.open(span.request_id, span.container, span.parent, span.t_receive)
+        if span.t_complete is not None:
+            self.t_complete[idx] = span.t_complete
+        return idx
+
+    # ---------------------------------------------------------------- queries
+    def spans_of(self, request_id: int) -> List[Span]:
+        """Materialized :class:`Span` views of one request, legacy order."""
+        rows = self._by_request.get(request_id)
+        if not rows:
+            return []
+        containers = self.containers
+        t_receive = self.t_receive
+        # Sort key = (receive time, container first-visit rank, visit
+        # index within the container): exactly the order a stable
+        # receive-time sort of the old container-grouped flatten gave,
+        # including float ties from zero-jitter parallel fan-out.
+        rank: Dict[str, int] = {}
+        visits: Dict[str, int] = {}
+        keyed = []
+        for i in rows:
+            name = containers[i]
+            r = rank.setdefault(name, len(rank))
+            w = visits.get(name, 0)
+            visits[name] = w + 1
+            keyed.append((t_receive[i], r, w, i))
+        keyed.sort()
+        t_complete = self.t_complete
+        parents = self.parents
+        out = []
+        for t, _, _, i in keyed:
+            tc = t_complete[i]
+            out.append(
+                Span(
+                    request_id=request_id,
+                    container=containers[i],
+                    t_receive=t,
+                    t_complete=None if tc != tc else tc,
+                    parent=parents[i],
+                )
+            )
+        return out
+
+
 class RequestTracer:
     """Collects span trees by observing a cluster's RX paths.
 
@@ -63,9 +196,8 @@ class RequestTracer:
     def __init__(self, cluster: Cluster, *, max_requests: Optional[int] = None):
         self.cluster = cluster
         self.max_requests = max_requests
-        #: request_id -> container -> list of spans (re-entries possible
-        #: for fan-in topologies).
-        self._spans: Dict[int, Dict[str, List[Span]]] = {}
+        #: Columnar storage; query through :meth:`spans` or directly.
+        self.store = SpanStore()
         # Network observer (not a node hook): responses to the external
         # client close the root span, and those never cross a node's RX
         # path.
@@ -73,47 +205,35 @@ class RequestTracer:
 
     # ----------------------------------------------------------------- hooks
     def _on_packet(self, pkt: RpcPacket) -> None:
-        # Single dict probe up front: once max_requests is reached, the
+        # Single index probe up front: once max_requests is reached, the
         # common case is an untraced request, which must exit after one
         # lookup (this hook runs on every delivered packet).
-        per_req = self._spans.get(pkt.request_id)
+        store = self.store
+        known = store.has_request(pkt.request_id)
         if pkt.kind == REQUEST:
-            if per_req is None:
+            if not known:
                 if (
                     self.max_requests is not None
-                    and len(self._spans) >= self.max_requests
+                    and store.request_count >= self.max_requests
                 ):
                     return
-                per_req = self._spans[pkt.request_id] = {}
-            per_req.setdefault(pkt.dst, []).append(
-                Span(
-                    request_id=pkt.request_id,
-                    container=pkt.dst,
-                    t_receive=self.cluster.sim.now,
-                    parent=pkt.src,
-                )
-            )
+            store.open(pkt.request_id, pkt.dst, pkt.src, self.cluster.sim.now)
         elif pkt.kind == RESPONSE:
-            if per_req is None:
-                return
-            spans = per_req.get(pkt.src)
-            if spans:
-                # Close the most recent open span of the responder.
-                for span in reversed(spans):
-                    if span.t_complete is None:
-                        span.t_complete = self.cluster.sim.now
-                        break
+            if known:
+                store.close(pkt.request_id, pkt.src, self.cluster.sim.now)
 
     # --------------------------------------------------------------- queries
     def spans(self, request_id: int) -> List[Span]:
         """All spans of one request, ordered by receive time."""
-        per_req = self._spans.get(request_id, {})
-        out = [s for spans in per_req.values() for s in spans]
-        return sorted(out, key=lambda s: s.t_receive)
+        return self.store.spans_of(request_id)
 
     @property
     def traced_requests(self) -> int:
-        return len(self._spans)
+        return self.store.request_count
+
+    def request_ids(self) -> List[int]:
+        """Traced request ids, sorted (the monitors' iteration order)."""
+        return self.store.request_ids_seen()
 
     def critical_path(self, request_id: int) -> List[Tuple[str, float]]:
         """(container, self-time) pairs along the longest child chain.
@@ -122,7 +242,13 @@ class RequestTracer:
         children's durations (clipped at zero for overlapping parallel
         fan-out, where "self time" is ill-defined).
         """
-        spans = [s for s in self.spans(request_id) if s.duration is not None]
+        return self._critical_path(self.spans(request_id))
+
+    @staticmethod
+    def _critical_path(ordered_spans: List[Span]) -> List[Tuple[str, float]]:
+        """Critical path from an already receive-time-ordered span list
+        (lets :meth:`causality_errors` reuse one ``spans()`` result)."""
+        spans = [s for s in ordered_spans if s.duration is not None]
         if not spans:
             return []
         children: Dict[str, List[Span]] = {}
@@ -180,6 +306,10 @@ class RequestTracer:
           receive (packets cannot travel backwards in time);
         * critical-path self-times are non-negative and their sum does
           not exceed the root span's duration.
+
+        The span list is materialized once and shared with the
+        critical-path walk (this runs per traced request at validate
+        finalize — no reason to flatten and sort twice).
         """
         errors: List[str] = []
         spans = self.spans(request_id)
@@ -201,7 +331,7 @@ class RequestTracer:
                     f"req {request_id}: span {s.container!r} received at "
                     f"{s.t_receive!r} before parent {s.parent!r} at {parent_rx!r}"
                 )
-        path = self.critical_path(request_id)
+        path = self._critical_path(spans)
         if path:
             for name, self_time in path:
                 if self_time < -eps:
@@ -220,15 +350,22 @@ class RequestTracer:
         return errors
 
     def summary_by_container(self) -> Dict[str, Tuple[int, float]]:
-        """(visit count, mean span duration) per container, all requests."""
+        """(visit count, mean span duration) per container, all requests.
+
+        Accumulates straight over the columns in arrival order (the old
+        layout summed request-by-request; per-container totals can
+        differ in the last float ulp, which no consumer resolves).
+        """
+        store = self.store
+        t_receive = store.t_receive
+        t_complete = store.t_complete
         acc: Dict[str, Tuple[int, float]] = {}
-        for per_req in self._spans.values():
-            for name, spans in per_req.items():
-                for s in spans:
-                    if s.duration is None:
-                        continue
-                    n, total = acc.get(name, (0, 0.0))
-                    acc[name] = (n + 1, total + s.duration)
+        for i, name in enumerate(store.containers):
+            tc = t_complete[i]
+            if tc != tc:
+                continue
+            n, total = acc.get(name, (0, 0.0))
+            acc[name] = (n + 1, total + (tc - t_receive[i]))
         return {
             name: (n, total / n) for name, (n, total) in acc.items() if n > 0
         }

@@ -1,7 +1,7 @@
 """Machine-tracked performance benchmark → ``BENCH_exec.json``.
 
-Three measurements, deliberately simple so their trajectory is
-comparable across PRs (report ``schema: 2``):
+Four measurements, deliberately simple so their trajectory is
+comparable across PRs (report ``schema: 3``):
 
 * **engine** — raw event-loop throughput (events/second) on a synthetic
   workload of self-rescheduling timers plus cancel churn, exercising the
@@ -9,33 +9,49 @@ comparable across PRs (report ``schema: 2``):
 * **packet_path** — packets/second through the real delivery path
   (``Network.send`` → ``_deliver`` with FirstResponder's RX hook
   installed and a per-packet slack check running), i.e. the per-RPC-hop
-  cost every simulated request pays several times over;
+  cost every simulated request pays several times over.  Packets follow
+  the production ownership discipline (pool acquire at injection,
+  release at the serving endpoint), so the row reflects whatever
+  recycling mode the process runs under;
+* **memory** (schema 3) — the allocation/GC profile of that same packet
+  workload, measured twice (recycling on and off, in one process):
+  per-generation GC collection deltas, ``tracemalloc`` peak, and
+  steady-state *object churn per 100k packets* — fresh ``RpcPacket`` +
+  ``EventHandle`` constructions counted by the pools themselves, so the
+  number is deterministic (no timing noise) and CI-gateable;
 * **cell** — wall-clock seconds for one standard experiment cell
   (CHAIN × 1.75× surges × SurgeGuard), i.e. the unit of work the
   repetition protocol fans out.
 
 Run ``python -m repro.exec.bench`` from the repo root; it writes
-``BENCH_exec.json`` there (override with ``--out``).  CI runs the smoke
-variant (``tests/exec/test_bench.py``) which asserts conservative
-events/second and packets/second floors so catastrophic regressions
-fail the build.
+``BENCH_exec.json`` there (override with ``--out``).  Pass ``--append``
+to fold the previous report into a per-commit ``history`` list instead
+of overwriting it.  CI runs the smoke variant
+(``tests/exec/test_bench.py``) which asserts conservative events/second
+and packets/second floors plus the schema-3 allocation ceilings so
+catastrophic regressions fail the build.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import os
 import platform
 import sys
 import time
-from typing import Iterable, Optional
+import tracemalloc
+from typing import Iterable, Iterator, Optional
 
 from repro.sim.engine import Simulator
 
 __all__ = [
+    "append_history",
     "bench_cell",
     "bench_engine",
+    "bench_memory",
     "bench_packet_path",
     "main",
     "run_benchmarks",
@@ -53,8 +69,22 @@ DEFAULT_PACKETS = 100_000
 ENGINE_FLOOR_EPS = 25_000.0
 
 #: Conservative packets/second floor for the packet-path smoke test.
-#: The fast lane sustains well over 10× this on an idle core.
-PACKET_FLOOR_PPS = 15_000.0
+#: Raised from 15k with the allocation-slim path (which sustains ~350k
+#: on an idle dev core; slow CI runners keep an order-of-magnitude
+#: margin).
+PACKET_FLOOR_PPS = 25_000.0
+
+#: Ceiling on pooled steady-state object churn per 100k packets.  With
+#: recycling on, the packet rig constructs a handful of objects during
+#: pool warm-up and then recirculates them, so steady state is ~0; the
+#: ceiling only needs to sit far below the ~200k/100k-packets the
+#: unpooled path constructs.
+CHURN_CEILING_PER_100K = 2_000.0
+
+#: Ceiling on gen-2 (full) GC collections during the pooled memory run.
+#: Steady state allocates nothing, so the mature generation should not
+#: churn at all; a couple are allowed for interpreter background noise.
+GC_GEN2_CEILING = 2
 
 
 def bench_engine(n_events: int = DEFAULT_EVENTS, fanout: int = 64) -> dict:
@@ -96,75 +126,170 @@ def _noop() -> None:
     pass
 
 
-def bench_packet_path(n_packets: int = DEFAULT_PACKETS) -> dict:
-    """Measure packets/second through ``Network.send`` → ``_deliver``.
+@contextlib.contextmanager
+def _pool_env(pooled: bool) -> Iterator[None]:
+    """Temporarily force ``REPRO_POOL`` for objects *constructed* inside.
 
-    A real single-node CHAIN cluster is assembled and a FirstResponder
-    is installed on its node, so every delivery pays the authentic RX
-    path: route resolution, jitter draw, surge lookup, hook overhead,
-    the slack check, and handler dispatch.  Packets ping-pong through a
-    sink endpoint whose progress target is generous enough that no boost
-    ever fires — this times the steady-state fast path, not the (rare)
-    violation path.
+    The recycling switches are read at construction time (see
+    :mod:`repro.sim.recycle`), so wrapping only the rig build is enough
+    to get both modes in one process.
+    """
+    before = os.environ.get("REPRO_POOL")
+    os.environ["REPRO_POOL"] = "1" if pooled else "0"
+    try:
+        yield
+    finally:
+        if before is None:
+            del os.environ["REPRO_POOL"]
+        else:
+            os.environ["REPRO_POOL"] = before
+
+
+class _PacketRig:
+    """The packet-path workload behind the throughput and memory rows.
+
+    A real single-node CHAIN cluster with a FirstResponder installed on
+    its node, so every delivery pays the authentic RX path: route
+    resolution, jitter draw, surge lookup, hook overhead, the slack
+    check, and handler dispatch.  Packets ping-pong through a sink
+    endpoint whose progress target is generous enough that no boost ever
+    fires — this exercises the steady-state fast path, not the (rare)
+    violation path.  Packet ownership follows the production discipline:
+    pool acquire at injection, release at the serving endpoint.
+    """
+
+    def __init__(self) -> None:
+        from repro.cluster.cluster import Cluster, ClusterConfig
+        from repro.controllers.targets import TargetConfig
+        from repro.core.config import SurgeGuardConfig
+        from repro.core.firstresponder import FirstResponder
+        from repro.services.registry import get_workload
+        from repro.sim.rng import RngRegistry
+
+        self.sim = Simulator()
+        self.cluster = Cluster(
+            self.sim,
+            get_workload("chain").build(),
+            ClusterConfig(n_nodes=1),
+            RngRegistry(1),
+        )
+        sink_name = "bench_sink"
+        names = list(self.cluster.containers) + [sink_name]
+        targets = TargetConfig(
+            expected_exec_metric={n: 1.0 for n in names},
+            expected_exec_time={n: 1.0 for n in names},
+            expected_time_from_start={n: 1.0 for n in names},
+            qos_target=0.05,
+        )
+        self.responder = FirstResponder(
+            self.sim, self.cluster.node_views[0], SurgeGuardConfig(), targets
+        )
+        self.responder.install()
+
+        from repro.cluster.packet import REQUEST
+
+        net = self.cluster.network
+        self.delivered = 0
+        self._target = 0
+
+        def fire() -> None:
+            net.send(
+                net.pool.acquire(
+                    self.delivered, REQUEST, "client", sink_name, self.sim.now
+                )
+            )
+
+        def sink(pkt) -> None:
+            self.delivered += 1
+            # The sink is the serving endpoint: the request's life ends
+            # here (server-side release point, as in ServiceInstance).
+            net.pool.release(pkt)
+            if self.delivered < self._target:
+                fire()
+
+        net.register(sink_name, self.cluster.nodes[0], sink)
+        self._fire = fire
+
+    def pump(self, n_packets: int) -> None:
+        """Deliver ``n_packets`` more packets, back to back."""
+        self._target = self.delivered + n_packets
+        self._fire()
+        self.sim.run()
+
+    def alloc_counters(self) -> dict:
+        """Cumulative construction/recycle counters of both free lists."""
+        pool = self.cluster.network.pool
+        return {
+            "packets_constructed": pool.constructed,
+            "packets_recycled": pool.recycled,
+            "packets_released": pool.released,
+            "handles_constructed": self.sim.handles_constructed,
+            "handles_recycled": self.sim.handles_recycled,
+        }
+
+
+def bench_packet_path(n_packets: int = DEFAULT_PACKETS) -> dict:
+    """Measure packets/second through ``Network.send`` → ``_deliver``."""
+    if n_packets < 1:
+        raise ValueError("n_packets must be >= 1")
+    rig = _PacketRig()
+    t0 = time.perf_counter()
+    rig.pump(n_packets)
+    dt = time.perf_counter() - t0
+    return {
+        "packets": rig.delivered,
+        "seconds": dt,
+        "packets_per_sec": rig.delivered / dt if dt > 0 else float("inf"),
+        "hook_inspected": rig.responder.packets_inspected,
+    }
+
+
+#: Packets pumped before the measured segment of a memory run, so pool
+#: warm-up and cluster assembly don't pollute the steady-state numbers.
+_MEMORY_WARMUP_PACKETS = 4_096
+
+
+def _measure_memory_mode(n_packets: int, *, pooled: bool) -> dict:
+    with _pool_env(pooled):
+        rig = _PacketRig()
+    rig.pump(min(_MEMORY_WARMUP_PACKETS, n_packets))
+    base = rig.alloc_counters()
+    gc.collect()
+    gc_before = [s["collections"] for s in gc.get_stats()]
+    tracemalloc.start()
+    rig.pump(n_packets)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    gc_after = [s["collections"] for s in gc.get_stats()]
+    counters = rig.alloc_counters()
+    delta = {k: counters[k] - base[k] for k in counters}
+    churn = delta["packets_constructed"] + delta["handles_constructed"]
+    return {
+        "packets": n_packets,
+        "gc_collections": [a - b for a, b in zip(gc_after, gc_before)],
+        "tracemalloc_peak_kb": peak / 1024.0,
+        "objects_constructed": churn,
+        "objects_constructed_per_100k": churn * 100_000.0 / n_packets,
+        "alloc_counters": delta,
+    }
+
+
+def bench_memory(n_packets: int = DEFAULT_PACKETS) -> dict:
+    """Allocation/GC profile of the packet workload, recycling on vs off.
+
+    Untimed (it runs under ``tracemalloc``, which slows the interpreter);
+    the throughput story lives in :func:`bench_packet_path`.  The churn
+    counters come from the pools themselves — fresh ``RpcPacket`` and
+    ``EventHandle`` constructions after a warm-up segment — so both
+    modes' numbers are exactly reproducible on any machine.
     """
     if n_packets < 1:
         raise ValueError("n_packets must be >= 1")
-    from repro.cluster.cluster import Cluster, ClusterConfig
-    from repro.cluster.packet import REQUEST, RpcPacket
-    from repro.controllers.targets import TargetConfig
-    from repro.core.config import SurgeGuardConfig
-    from repro.core.firstresponder import FirstResponder
-    from repro.services.registry import get_workload
-    from repro.sim.rng import RngRegistry
-
-    sim = Simulator()
-    cluster = Cluster(
-        sim, get_workload("chain").build(), ClusterConfig(n_nodes=1), RngRegistry(1)
-    )
-    sink_name = "bench_sink"
-    names = list(cluster.containers) + [sink_name]
-    targets = TargetConfig(
-        expected_exec_metric={n: 1.0 for n in names},
-        expected_exec_time={n: 1.0 for n in names},
-        expected_time_from_start={n: 1.0 for n in names},
-        qos_target=0.05,
-    )
-    responder = FirstResponder(
-        sim, cluster.node_views[0], SurgeGuardConfig(), targets
-    )
-    responder.install()
-
-    net = cluster.network
-    delivered = 0
-
-    def fire() -> None:
-        net.send(
-            RpcPacket(
-                request_id=delivered,
-                kind=REQUEST,
-                src="client",
-                dst=sink_name,
-                start_time=sim.now,
-            )
-        )
-
-    def sink(_pkt) -> None:
-        nonlocal delivered
-        delivered += 1
-        if delivered < n_packets:
-            fire()
-
-    net.register(sink_name, cluster.nodes[0], sink)
-
-    fire()
-    t0 = time.perf_counter()
-    sim.run()
-    dt = time.perf_counter() - t0
     return {
-        "packets": delivered,
-        "seconds": dt,
-        "packets_per_sec": delivered / dt if dt > 0 else float("inf"),
-        "hook_inspected": responder.packets_inspected,
+        "packets": n_packets,
+        "warmup_packets": min(_MEMORY_WARMUP_PACKETS, n_packets),
+        "pooled": _measure_memory_mode(n_packets, pooled=True),
+        "unpooled": _measure_memory_mode(n_packets, pooled=False),
     }
 
 
@@ -209,10 +334,11 @@ def run_benchmarks(
     reps: int = 1,
     jobs: int = 1,
     skip_cell: bool = False,
+    skip_memory: bool = False,
 ) -> dict:
-    """Run all measurements and return the report dict (schema 2)."""
+    """Run all measurements and return the report dict (schema 3)."""
     report = {
-        "schema": 2,
+        "schema": 3,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "machine": {
             "cpu_count": os.cpu_count(),
@@ -222,8 +348,55 @@ def run_benchmarks(
         "engine": bench_engine(n_events),
         "packet_path": bench_packet_path(n_packets),
     }
+    if not skip_memory:
+        report["memory"] = bench_memory(n_packets)
     if not skip_cell:
         report["cell"] = bench_cell(reps=reps, jobs=jobs)
+    return report
+
+
+def _history_entry(report: dict) -> dict:
+    """Compact one prior report into a per-commit trajectory point."""
+    entry = {
+        "generated_at": report.get("generated_at"),
+        "schema": report.get("schema"),
+        "engine_events_per_sec": report.get("engine", {}).get("events_per_sec"),
+        "packet_path_packets_per_sec": report.get("packet_path", {}).get(
+            "packets_per_sec"
+        ),
+    }
+    cell = report.get("cell")
+    if cell:
+        entry["cell_seconds_per_rep"] = cell.get("seconds_per_rep")
+    memory = report.get("memory")
+    if memory:
+        entry["churn_per_100k_pooled"] = memory.get("pooled", {}).get(
+            "objects_constructed_per_100k"
+        )
+        entry["churn_per_100k_unpooled"] = memory.get("unpooled", {}).get(
+            "objects_constructed_per_100k"
+        )
+    return entry
+
+
+def append_history(report: dict, out_path: str) -> dict:
+    """Fold the previous ``out_path`` report into ``report["history"]``.
+
+    The prior snapshot is compacted to its headline rates and appended
+    to the trajectory it was itself carrying, so ``--append`` across
+    commits yields one growing per-commit series instead of only the
+    latest numbers.  Missing or unparsable prior files are ignored.
+    """
+    try:
+        with open(out_path) as fh:
+            prior = json.load(fh)
+    except (OSError, ValueError):
+        return report
+    if not isinstance(prior, dict):
+        return report
+    history = [h for h in prior.get("history", ()) if isinstance(h, dict)]
+    history.append(_history_entry(prior))
+    report["history"] = history
     return report
 
 
@@ -251,6 +424,15 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         "--skip-cell", action="store_true", help="engine measurement only"
     )
     parser.add_argument(
+        "--skip-memory", action="store_true",
+        help="skip the allocation/GC profile (schema-3 memory section)",
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="fold the previous report at --out into a per-commit "
+             "'history' list instead of discarding it",
+    )
+    parser.add_argument(
         "--out", default="BENCH_exec.json",
         help="output path (default: BENCH_exec.json in the current directory)",
     )
@@ -262,7 +444,10 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         reps=args.reps,
         jobs=args.jobs,
         skip_cell=args.skip_cell,
+        skip_memory=args.skip_memory,
     )
+    if args.append:
+        append_history(report, args.out)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -273,6 +458,14 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     pkt = report["packet_path"]
     print(f"packet: {pkt['packets']} packets in {pkt['seconds']:.3f}s "
           f"= {pkt['packets_per_sec']:,.0f} pkt/s")
+    memory = report.get("memory")
+    if memory:
+        pooled, unpooled = memory["pooled"], memory["unpooled"]
+        print(f"memory: churn/100k packets {pooled['objects_constructed_per_100k']:,.0f} "
+              f"pooled vs {unpooled['objects_constructed_per_100k']:,.0f} unpooled; "
+              f"gc {pooled['gc_collections']} vs {unpooled['gc_collections']}; "
+              f"peak {pooled['tracemalloc_peak_kb']:,.0f} KiB vs "
+              f"{unpooled['tracemalloc_peak_kb']:,.0f} KiB")
     cell = report.get("cell")
     if cell:
         print(f"cell:   {cell['workload']}×{cell['controller']} "

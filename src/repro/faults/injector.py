@@ -152,6 +152,10 @@ class FaultInjector:
                 if float(rng.random()) < windows[i].rate:
                     packet.send_time = t
                     net.packets_dropped += 1
+                    # Drop release point: a lost packet's life ends here
+                    # (no-op for the unmanaged requests the RPC layer
+                    # owns; pooled responses go back to the free list).
+                    net.pool.release(packet)
                     return
             original(packet)
 

@@ -1,0 +1,97 @@
+"""Preallocated, geometrically-grown float columns for hot-path telemetry.
+
+The open-loop client records two floats per injected request (arrival
+time, latency).  As Python lists those cost a boxed float object plus a
+pointer slot each, and every metrics-layer scan re-boxes the whole run
+through ``np.asarray``.  :class:`FloatBuffer` stores them as a flat
+``float64`` array with amortized-O(1) append and hands the metrics layer
+a zero-copy ``view()`` instead.
+
+Values are bit-identical to the list path: simulation timestamps are
+Python floats (IEEE-754 doubles), and storing one into a ``float64``
+slot is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["FloatBuffer"]
+
+
+class FloatBuffer:
+    """An append-only-ish ``float64`` column with indexed writes.
+
+    Supports the small protocol the client and metrics layers need:
+    ``append``, ``len``, indexed read/write of already-appended slots,
+    iteration, and ``np.asarray`` (via ``__array__``) — all over one
+    contiguous buffer that doubles when full.
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._data = np.empty(capacity, dtype=np.float64)
+        self._n = 0
+
+    # -------------------------------------------------------------- mutation
+    def append(self, value: float) -> None:
+        """Append one value, doubling the backing array when full."""
+        n = self._n
+        data = self._data
+        if n == data.shape[0]:
+            grown = np.empty(n * 2, dtype=np.float64)
+            grown[:n] = data
+            self._data = data = grown
+        data[n] = value
+        self._n = n + 1
+
+    def __setitem__(self, idx: int, value: float) -> None:
+        self._data[self._index(idx)] = value
+
+    # --------------------------------------------------------------- reading
+    def _index(self, idx: int) -> int:
+        n = self._n
+        if idx < 0:
+            idx += n
+        if not 0 <= idx < n:
+            raise IndexError(f"index {idx} out of range for length {n}")
+        return idx
+
+    def __getitem__(self, idx: int) -> float:
+        return float(self._data[self._index(idx)])
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.view())
+
+    def view(self) -> np.ndarray:
+        """Zero-copy ``float64`` view of the filled prefix.
+
+        The view aliases the live buffer: it is invalidated by the next
+        growth and sees in-place writes.  Callers that keep data past
+        the next ``append`` must copy.
+        """
+        return self._data[: self._n]
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        out = self.view()
+        if dtype is not None and out.dtype != dtype:
+            return out.astype(dtype)
+        if copy:
+            return out.copy()
+        return out
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (grows geometrically, never shrinks)."""
+        return int(self._data.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FloatBuffer n={self._n} capacity={self.capacity}>"

@@ -15,13 +15,24 @@ Design notes
   the event loop is the bottleneck, so it stays minimal); the convenience
   wrapper :class:`repro.sim.process.PeriodicProcess` covers the common
   "controller decision cycle" pattern.
+* Handles are *recycled*: after an event fires (or a lazily-cancelled entry
+  is dropped) the handle goes back on a free list and the next
+  :meth:`Simulator.schedule` reuses it — but **only** when
+  ``sys.getrefcount`` proves the run loop holds the last reference.  A
+  handle someone kept (say, for a later ``cancel()``) is never recycled,
+  which makes stale-handle corruption impossible by construction rather
+  than by convention.  ``REPRO_POOL=0`` disables recycling (see
+  :mod:`repro.sim.recycle`).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import sys
 from typing import Any, Callable, Optional
+
+from repro.sim.recycle import pool_enabled
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
 
@@ -99,6 +110,8 @@ class Simulator:
         "_running",
         "_fired_count",
         "_cancelled_pending",
+        "_free",
+        "_handles_recycled",
         "trace_hook",
     )
 
@@ -113,6 +126,16 @@ class Simulator:
         self._running = False
         self._fired_count = 0
         self._cancelled_pending = 0
+        # Handle free list (``None`` = recycling off).  A fired/cancelled
+        # handle is only appended when ``sys.getrefcount`` proves the
+        # loop holds the sole remaining reference, so a handle retained
+        # by user code (for a later ``cancel()``) is never reused under
+        # it.  That proof is CPython-specific; other interpreters simply
+        # allocate fresh handles.
+        self._free: Optional[list[EventHandle]] = (
+            [] if pool_enabled() and sys.implementation.name == "cpython" else None
+        )
+        self._handles_recycled = 0
         #: optional callable ``(time, fn, args)`` invoked before each event;
         #: used by tests and the debugging tracer, ``None`` in production runs.
         self.trace_hook: Optional[Callable[[float, Callable, tuple], None]] = None
@@ -132,6 +155,16 @@ class Simulator:
     def events_pending(self) -> int:
         """Number of heap entries, *including* lazily-cancelled ones."""
         return len(self._heap)
+
+    @property
+    def handles_recycled(self) -> int:
+        """Schedules served from the handle free list (allocation bench)."""
+        return self._handles_recycled
+
+    @property
+    def handles_constructed(self) -> int:
+        """Fresh :class:`EventHandle` allocations so far."""
+        return self._seq - self._handles_recycled
 
     @property
     def live_events_pending(self) -> int:
@@ -160,8 +193,19 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} (now={self._now!r})"
             )
-        handle = EventHandle(time, self._seq, fn, args)
-        handle.owner = self
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = self._seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+            handle.owner = self
+            self._handles_recycled += 1
+        else:
+            handle = EventHandle(time, self._seq, fn, args)
+            handle.owner = self
         self._seq += 1
         heapq.heappush(self._heap, handle)
         return handle
@@ -189,11 +233,15 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` if none remain."""
         heap = self._heap
+        free = self._free
+        getrefcount = sys.getrefcount
         while heap:
             handle = heapq.heappop(heap)
             if handle.fn is None:  # fired is impossible here; this means cancelled
                 if handle.cancelled:
                     self._cancelled_pending -= 1
+                    if free is not None and getrefcount(handle) == 2:
+                        free.append(handle)
                 continue
             self._now = handle.time
             fn, args = handle.fn, handle.args
@@ -203,6 +251,9 @@ class Simulator:
                 self.trace_hook(self._now, fn, args)
             self._fired_count += 1
             fn(*args)
+            if free is not None and getrefcount(handle) == 2:
+                handle.args = ()
+                free.append(handle)
             return True
         return False
 
@@ -223,6 +274,8 @@ class Simulator:
         budget = math.inf if max_events is None else max_events
         heap = self._heap
         heappop = heapq.heappop
+        free = self._free
+        getrefcount = sys.getrefcount
         try:
             while heap and budget > 0:
                 head = heap[0]
@@ -230,6 +283,11 @@ class Simulator:
                     heappop(heap)
                     if head.cancelled:
                         self._cancelled_pending -= 1
+                        # ``cancel()`` already cleared fn/args/owner; a
+                        # refcount of 2 (the local + getrefcount's arg)
+                        # proves the canceller dropped its reference too.
+                        if free is not None and getrefcount(head) == 2:
+                            free.append(head)
                     continue
                 if until is not None and head.time > until:
                     break
@@ -243,6 +301,9 @@ class Simulator:
                 self._fired_count += 1
                 fn(*args)
                 budget -= 1
+                if free is not None and getrefcount(head) == 2:
+                    head.args = ()
+                    free.append(head)
         finally:
             self._running = False
         if until is not None and self._now < until:

@@ -393,7 +393,7 @@ class TraceCausalityMonitor(InvariantMonitor):
     def _finalize(self) -> None:
         tracer = self._tracer
         assert tracer is not None
-        for request_id in sorted(tracer._spans):
+        for request_id in tracer.request_ids():
             self.checks += 1
             for err in tracer.causality_errors(request_id):
                 self.record(err)

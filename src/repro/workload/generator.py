@@ -13,13 +13,14 @@ the unit-rate transform (``advance(t, Exp(1))``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.cluster.cluster import Cluster
 from repro.cluster.packet import RpcPacket
+from repro.metrics.buffers import FloatBuffer
 from repro.workload.arrivals import RateSchedule
 
 __all__ = ["ClientStats", "OpenLoopClient"]
@@ -27,14 +28,19 @@ __all__ = ["ClientStats", "OpenLoopClient"]
 
 @dataclass
 class ClientStats:
-    """Per-request outcome log of one client run."""
+    """Per-request outcome log of one client run.
+
+    The per-request columns are :class:`~repro.metrics.buffers.FloatBuffer`
+    (geometrically-grown ``float64``, not boxed-float lists), so the
+    metrics layer scans them without an ``np.asarray`` conversion pass.
+    """
 
     #: Arrival (injection) timestamps, seconds.
-    arrival_times: List[float] = field(default_factory=list)
+    arrival_times: FloatBuffer = field(default_factory=FloatBuffer)
     #: End-to-end latencies; ``nan`` while a request is outstanding and
     #: for requests that completed as errors (their wall time measures
     #: timeout policy, not service latency).
-    latencies: List[float] = field(default_factory=list)
+    latencies: FloatBuffer = field(default_factory=FloatBuffer)
     sent: int = 0
     completed: int = 0
     #: Requests that completed as an *error* (RPC retry exhaustion under
@@ -43,8 +49,8 @@ class ClientStats:
 
     def completed_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """(arrival_times, latencies) of completed requests, time-ordered."""
-        t = np.asarray(self.arrival_times, dtype=float)
-        lat = np.asarray(self.latencies, dtype=float)
+        t = self.arrival_times.view()
+        lat = self.latencies.view()
         mask = ~np.isnan(lat)
         return t[mask], lat[mask]
 
@@ -138,9 +144,10 @@ class OpenLoopClient:
         now = self.sim.now
         idx = self._next_id
         self._next_id += 1
-        self.stats.arrival_times.append(now)
-        self.stats.latencies.append(float("nan"))
-        self.stats.sent += 1
+        stats = self.stats
+        stats.arrival_times.append(now)
+        stats.latencies.append(float("nan"))
+        stats.sent += 1
         # The error callback only exists when the RPC resilience layer is
         # armed — the fault-free hot path allocates nothing extra.
         if self.cluster.rpc is None:
@@ -166,6 +173,8 @@ class OpenLoopClient:
                 self.stats.errored += 1
                 return
             latency = self.sim.now - arrival
+            # Direct slot write into the latency column: the nan placed
+            # at injection time is overwritten in place.
             self.stats.latencies[idx] = latency
             self.stats.completed += 1
             if self.on_complete is not None:

@@ -1,5 +1,7 @@
 """Unit tests for RPC packets and the Fig. 8 metadata rules."""
 
+import dataclasses
+
 from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
 
 
@@ -53,3 +55,104 @@ class TestMakeResponse:
     def test_response_carries_no_upscale(self):
         resp = mk(upscale=3).make_response(src="b")
         assert resp.upscale == 0
+
+
+class TestCloneRetry:
+    def test_error_flag_propagates(self):
+        # Regression: the hand-rolled clone used to rebuild the packet
+        # field-by-field and silently dropped ``error``, so a retried
+        # attempt of an already-failed request forgot its failure.
+        pkt = mk()
+        pkt.error = True
+        clone = pkt.clone_retry()
+        assert clone.error is True
+
+    def test_fresh_send_time_and_context(self):
+        pkt = mk()
+        pkt.send_time = 4.0
+        pkt.context = object()
+        clone = pkt.clone_retry()
+        assert clone is not pkt
+        assert clone.send_time == 0.0
+        assert clone.context is None
+
+
+class TestFieldLedger:
+    """Every RpcPacket field must be *classified* by each clone helper.
+
+    The helpers are built on :func:`dataclasses.replace`, so a field they
+    don't name propagates verbatim.  This ledger records, per helper,
+    exactly which fields are deliberately reset; everything else must
+    come through unchanged.  Adding a field to ``RpcPacket`` fails this
+    test until the new field is classified for all three helpers —
+    silently-dropped metadata (the ``clone_retry``/``error`` bug) cannot
+    recur.
+    """
+
+    #: Distinctive non-default source values, one per init field.
+    SOURCE = dict(
+        request_id=91,
+        kind=REQUEST,
+        src="caller",
+        dst="callee",
+        start_time=6.5,
+        upscale=4,
+        send_time=2.25,
+        error=True,
+        context=("ctx-marker",),
+    )
+
+    #: helper -> {field: expected value after the call}; unnamed fields
+    #: must equal the source packet's.
+    RESET = {
+        "fork_downstream": dict(
+            kind=REQUEST, src="callee", dst="next", upscale=1,
+            send_time=0.0, error=False, context=None, _pool_state=0,
+        ),
+        "make_response": dict(
+            kind=RESPONSE, src="callee", dst="caller", upscale=0,
+            send_time=0.0, error=True, _pool_state=0,
+        ),
+        "clone_retry": dict(send_time=0.0, context=None, _pool_state=0),
+    }
+
+    CALLS = {
+        "fork_downstream": lambda p: p.fork_downstream(
+            dst="next", src="callee", upscale=1
+        ),
+        "make_response": lambda p: p.make_response(src="callee", error=True),
+        "clone_retry": lambda p: p.clone_retry(),
+    }
+
+    def source_packet(self):
+        return RpcPacket(**self.SOURCE)
+
+    def test_ledger_classifies_every_field(self):
+        field_names = {f.name for f in dataclasses.fields(RpcPacket)}
+        for helper, resets in self.RESET.items():
+            unknown = set(resets) - field_names
+            assert not unknown, f"{helper} ledger names unknown fields {unknown}"
+        # The ledger only needs resets; propagated fields are implied.
+        # But the *source* must exercise a distinctive value for every
+        # init field so propagation is actually observable.
+        init_fields = {f.name for f in dataclasses.fields(RpcPacket) if f.init}
+        assert set(self.SOURCE) == init_fields
+
+    def test_every_field_propagated_or_deliberately_reset(self):
+        for helper, call in self.CALLS.items():
+            src = self.source_packet()
+            out = call(src)
+            resets = self.RESET[helper]
+            for f in dataclasses.fields(RpcPacket):
+                got = getattr(out, f.name)
+                if f.name in resets:
+                    assert got == resets[f.name], (
+                        f"{helper}: field {f.name!r} should be reset to "
+                        f"{resets[f.name]!r}, got {got!r}"
+                    )
+                else:
+                    assert got == getattr(src, f.name), (
+                        f"{helper}: field {f.name!r} was dropped instead of "
+                        f"propagated (got {got!r}); classify it in RESET if "
+                        f"the reset is intentional"
+                    )

@@ -87,11 +87,10 @@ class TestAnalysis:
 
         _, tracer = traced
         depth = sys.getrecursionlimit() * 2
-        per_req = {}
         parent = "client"
         for i in range(depth):
             name = f"svc{i}"
-            per_req[name] = [
+            tracer.store.ingest(
                 Span(
                     request_id=7,
                     container=name,
@@ -99,9 +98,8 @@ class TestAnalysis:
                     t_complete=float(2 * depth - i),
                     parent=parent,
                 )
-            ]
+            )
             parent = name
-        tracer._spans[7] = per_req
         path = tracer.critical_path(7)
         assert len(path) == depth
         assert path[0][0] == "svc0"

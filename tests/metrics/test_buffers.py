@@ -1,0 +1,89 @@
+"""Unit tests for the preallocated float column (FloatBuffer)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.buffers import FloatBuffer
+
+
+class TestAppendAndGrowth:
+    def test_append_preserves_values_across_growth(self):
+        buf = FloatBuffer(capacity=4)
+        values = [0.1 * i for i in range(100)]
+        for v in values:
+            buf.append(v)
+        assert len(buf) == 100
+        assert list(buf) == values  # bit-exact: float64 slots hold doubles
+
+    def test_capacity_doubles(self):
+        buf = FloatBuffer(capacity=2)
+        for i in range(5):
+            buf.append(float(i))
+        assert buf.capacity == 8
+        assert len(buf) == 5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FloatBuffer(capacity=0)
+
+
+class TestIndexing:
+    def test_slot_write_and_read(self):
+        buf = FloatBuffer()
+        buf.append(1.0)
+        buf.append(2.0)
+        buf[0] = 9.5
+        assert buf[0] == 9.5
+        assert buf[1] == 2.0
+
+    def test_negative_indexing(self):
+        buf = FloatBuffer()
+        buf.append(1.0)
+        buf.append(2.0)
+        assert buf[-1] == 2.0
+        buf[-2] = 7.0
+        assert buf[0] == 7.0
+
+    def test_out_of_range_rejected(self):
+        buf = FloatBuffer()
+        buf.append(1.0)
+        with pytest.raises(IndexError):
+            buf[1]
+        with pytest.raises(IndexError):
+            buf[-2] = 0.0
+        # Unfilled capacity is not addressable: only appended slots exist.
+        assert buf.capacity > 1
+        with pytest.raises(IndexError):
+            buf[buf.capacity - 1]
+
+
+class TestNumpyInterop:
+    def test_view_is_zero_copy(self):
+        buf = FloatBuffer()
+        buf.append(1.0)
+        buf.append(2.0)
+        view = buf.view()
+        buf[0] = 5.0  # in-place slot write is visible through the view
+        assert view[0] == 5.0
+        assert view.base is not None
+
+    def test_asarray_and_diff(self):
+        buf = FloatBuffer()
+        for v in (1.0, 3.0, 6.0):
+            buf.append(v)
+        arr = np.asarray(buf)
+        assert arr.dtype == np.float64
+        assert np.array_equal(np.diff(buf), [2.0, 3.0])
+
+    def test_array_dtype_conversion(self):
+        buf = FloatBuffer()
+        buf.append(1.5)
+        arr = np.asarray(buf, dtype=np.float32)
+        assert arr.dtype == np.float32
+
+    def test_array_copy_is_independent(self):
+        buf = FloatBuffer()
+        buf.append(1.0)
+        arr = buf.__array__(copy=True)
+        buf[0] = 2.0
+        assert arr[0] == 1.0
