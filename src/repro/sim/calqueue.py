@@ -1,0 +1,331 @@
+"""Calendar-queue (bucketed) event scheduler — the heap's high-density rival.
+
+Why a calendar queue
+--------------------
+``heapq`` keeps :class:`~repro.sim.engine.EventHandle` objects ordered by
+calling their Python-level ``__lt__`` — O(log n) *interpreted* comparisons
+per push/pop.  At paper-scale pending counts (hundreds of entries) that is
+cheap; at million-user arrival densities (tens of thousands of in-flight
+timers) every operation pays ~17 Python method calls and the event loop
+becomes comparison-bound.  A calendar queue (Brown 1988) replaces the
+comparisons with arithmetic: an event lands in bucket
+``floor(time / width) % nbuckets`` with a plain ``list.append``, and the
+dequeue cursor sweeps buckets in time order, scanning only the handful of
+entries that share the current bucket.  Push is O(1) with **zero**
+comparisons; pop touches ~1 entry per bucket when the width tracks the
+event density (the self-tuning policy below keeps it there).
+
+Determinism contract
+--------------------
+The queue pops the **global minimum ``(time, seq)``** — the exact total
+order the heap uses (``seq`` is unique, so the order is total and any
+correct priority queue yields the identical pop sequence).  Ties on
+``time`` always share a bucket (same index arithmetic), and the bucket
+scan breaks them by ``seq`` with insertion order as the natural
+tie-search direction; the committed golden fingerprints are therefore
+bit-identical under either scheduler, which
+``tests/exec/test_sched_identity.py`` and the CI golden-identity job both
+enforce.  Bucket geometry (width, bucket count, cursor) influences only
+*where* entries sit, never the order they pop in — and every retune is a
+deterministic function of queue contents, so runs are exactly
+reproducible.
+
+Selection
+---------
+``REPRO_SCHED`` — read by :func:`sched_mode` at :class:`Simulator`
+construction time (never at import time, same discipline as
+:mod:`repro.sim.recycle`): ``heap`` (default) keeps the binary heap,
+``calendar`` switches to this queue.  Flip the environment, build a fresh
+simulator, get the other engine.
+
+Resize & width policy (see DESIGN.md §9)
+----------------------------------------
+Two triggers keep the geometry matched to the workload:
+
+* **Count resize** — the bucket array doubles when the live count exceeds
+  ``2 × nbuckets`` and halves below ``nbuckets / 2`` (hysteresis prevents
+  thrashing), never shrinking under :data:`MIN_BUCKETS`.
+* **Degeneracy retune** — a dequeue that meets a bucket holding more than
+  :data:`SCAN_TRIGGER` entries redistributes at the current size with a
+  fresh width estimate.  This catches the classic calendar-queue failure
+  mode count resizing cannot: a stable population whose time distribution
+  drifted away from the width chosen at the last resize (e.g. a burst
+  scheduled at one instant, then spreading out).  A cooldown of one lap
+  (``nbuckets`` pops) latches the retune so a genuinely degenerate
+  distribution — thousands of events at the *same* timestamp, where no
+  width helps — pays one futile redistribution per lap, not per pop.
+
+Both paths re-estimate the width from the sorted pending times as twice
+the mean gap over the *head* of the queue (first ≤ 256 events), falling
+back to the global mean gap when the head is a zero-span burst.  Head-
+local estimation is what Brown's original design samples too: the width
+must match the density where the cursor is about to sweep, not the global
+span, which one far-future outlier would otherwise stretch.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+__all__ = ["CalendarQueue", "sched_mode", "MIN_BUCKETS", "SCAN_TRIGGER"]
+
+#: Smallest bucket-array size (power of two); also the initial size.
+MIN_BUCKETS = 32
+
+#: Bucket occupancy at which a dequeue triggers a width retune.
+SCAN_TRIGGER = 16
+
+#: Width estimation samples this many events at the head of the queue.
+_HEAD_SAMPLE = 256
+
+#: Initial bucket width (seconds) before the first estimate replaces it.
+_INITIAL_WIDTH = 1.0
+
+_MODES = ("heap", "calendar")
+
+
+def sched_mode() -> str:
+    """Scheduler selection (``REPRO_SCHED``): ``"heap"`` or ``"calendar"``.
+
+    Read at :class:`~repro.sim.engine.Simulator` construction time.  An
+    unset or empty variable means the default binary heap; anything else
+    must name a known scheduler.
+    """
+    raw = os.environ.get("REPRO_SCHED", "").strip().lower()
+    if raw in ("", "heap"):
+        return "heap"
+    if raw == "calendar":
+        return "calendar"
+    raise ValueError(
+        f"REPRO_SCHED={raw!r}: expected one of {', '.join(_MODES)}"
+    )
+
+
+class CalendarQueue:
+    """A self-resizing bucketed priority queue over event handles.
+
+    Stores any object with ``time`` (finite float), ``seq`` (unique int)
+    and ``fn`` (``None`` marks a lazily-cancelled entry for
+    :meth:`compact`) attributes.  Buckets are insertion-ordered Python
+    lists; the dequeue scan picks the strict ``(time, seq)`` minimum, so
+    FIFO insertion order is preserved for simultaneous events exactly as
+    the heap's ``seq`` tie-break does.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_mask",
+        "_width",
+        "_count",
+        "_cur",
+        "_retune_cooldown",
+    )
+
+    def __init__(self) -> None:
+        self._nbuckets = MIN_BUCKETS
+        self._mask = MIN_BUCKETS - 1
+        self._buckets: List[list] = [[] for _ in range(MIN_BUCKETS)]
+        self._width = _INITIAL_WIDTH
+        self._count = 0
+        #: Absolute (unwrapped) index of the bucket the dequeue cursor is
+        #: parked on.  Invariant: no pending entry's time precedes the
+        #: start of this bucket's window.
+        self._cur = 0
+        #: Pops remaining before another degeneracy retune is allowed.
+        self._retune_cooldown = 0
+
+    # ----------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @property
+    def nbuckets(self) -> int:
+        """Current bucket-array size (tests observe the resize policy)."""
+        return self._nbuckets
+
+    @property
+    def width(self) -> float:
+        """Current bucket width in seconds."""
+        return self._width
+
+    # ------------------------------------------------------------- mutation
+    def push(self, handle) -> None:
+        """Insert a handle; O(1), no comparisons."""
+        i = int(handle.time // self._width)
+        count = self._count
+        if count == 0 or i < self._cur:
+            # An insert behind the cursor (legal whenever the cursor has
+            # swept past ``now`` hunting a far-future head) rewinds it;
+            # an insert into an empty queue re-parks it outright so the
+            # next pop starts at the right bucket instead of sweeping.
+            self._cur = i
+        self._buckets[i & self._mask].append(handle)
+        self._count = count + 1
+        if count >= 2 * self._nbuckets:
+            self._resize(self._nbuckets * 2)
+
+    def pop(self):
+        """Remove and return the ``(time, seq)``-minimum handle, or ``None``.
+
+        Sweeps buckets from the cursor, considering only entries that
+        belong to the current bucket's calendar *year* (later years wrap
+        into the same bucket and are skipped by the year-index test).  If
+        a whole lap finds nothing — the pending set sits far in the
+        future — it falls back to a direct search and jumps the cursor
+        there, which keeps sparse phases from costing a full lap per pop.
+        """
+        if self._count == 0:
+            return None
+        if self._retune_cooldown > 0:
+            self._retune_cooldown -= 1
+        while True:
+            buckets = self._buckets
+            mask = self._mask
+            width = self._width
+            cur = self._cur
+            end = cur + self._nbuckets
+            retuned = False
+            while cur < end:
+                bucket = buckets[cur & mask]
+                if bucket:
+                    if (
+                        len(bucket) > SCAN_TRIGGER
+                        and self._retune_cooldown == 0
+                    ):
+                        # Degenerate occupancy: the width no longer
+                        # matches the head density.  Redistribute with a
+                        # fresh estimate and restart the sweep under the
+                        # new geometry.
+                        self._retune_cooldown = self._nbuckets
+                        self._resize(self._nbuckets)
+                        retuned = True
+                        break
+                    best = None
+                    best_t = 0.0
+                    best_seq = 0
+                    fcur = float(cur)
+                    for h in bucket:
+                        t = h.time
+                        # Membership in the current calendar year is
+                        # decided by the *same* ``time // width``
+                        # arithmetic the insert used — never by a
+                        # recomputed ``cur * width`` boundary, whose
+                        # rounding could disagree near bucket edges and
+                        # pop entries out of order.  (``t // width`` is
+                        # an integral float compared against ``cur``
+                        # exactly; indices stay far below 2**53, where
+                        # the int↔float round-trip is lossless.)
+                        if t // width == fcur and (
+                            best is None
+                            or t < best_t
+                            or (t == best_t and h.seq < best_seq)
+                        ):
+                            best = h
+                            best_t = t
+                            best_seq = h.seq
+                    if best is not None:
+                        # EventHandle has no __eq__, so remove() matches
+                        # by identity via the rich-compare fast path.
+                        bucket.remove(best)
+                        self._cur = cur
+                        count = self._count - 1
+                        self._count = count
+                        if (
+                            count < self._nbuckets // 2
+                            and self._nbuckets > MIN_BUCKETS
+                        ):
+                            self._resize(self._nbuckets // 2)
+                        return best
+                cur += 1
+            if not retuned:
+                return self._pop_direct()
+
+    def _pop_direct(self):
+        """One full lap was empty: linear-search the true minimum."""
+        best = None
+        best_t = 0.0
+        best_seq = 0
+        best_bucket = None
+        best_i = 0
+        for bucket in self._buckets:
+            for j, h in enumerate(bucket):
+                t = h.time
+                if (
+                    best is None
+                    or t < best_t
+                    or (t == best_t and h.seq < best_seq)
+                ):
+                    best = h
+                    best_t = t
+                    best_seq = h.seq
+                    best_bucket = bucket
+                    best_i = j
+        # count > 0 was checked by pop(), so a minimum must exist.
+        del best_bucket[best_i]
+        self._cur = int(best_t // self._width)
+        self._count -= 1
+        if self._count < self._nbuckets // 2 and self._nbuckets > MIN_BUCKETS:
+            self._resize(self._nbuckets // 2)
+        return best
+
+    def compact(self) -> int:
+        """Drop lazily-cancelled entries (``fn is None``); return how many."""
+        removed = 0
+        for bucket in self._buckets:
+            if bucket:
+                kept = [h for h in bucket if h.fn is not None]
+                removed += len(bucket) - len(kept)
+                bucket[:] = kept
+        self._count -= removed
+        return removed
+
+    def clear(self) -> None:
+        """Discard every entry (the engine's ``drain``)."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._count = 0
+
+    # --------------------------------------------------------------- resize
+    def _estimate_width(self, times: List[float]) -> float:
+        """Fresh bucket width from the sorted pending times.
+
+        Twice the mean inter-event gap over the head sample (the region
+        the cursor sweeps next), falling back to the global mean gap when
+        the head is a zero-span burst, and to the current width when the
+        whole population shares one timestamp.
+        """
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            return self._width
+        k = min(len(times), _HEAD_SAMPLE)
+        head_span = times[k - 1] - times[0]
+        if head_span > 0.0:
+            return max(2.0 * head_span / (k - 1), 1e-9)
+        return max(2.0 * span / (len(times) - 1), 1e-9)
+
+    def _resize(self, nbuckets: int) -> None:
+        entries: list = []
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        if entries:
+            self._width = self._estimate_width(
+                sorted(h.time for h in entries)
+            )
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._buckets = [[] for _ in range(nbuckets)]
+        width = self._width
+        mask = self._mask
+        buckets = self._buckets
+        cur: Optional[int] = None
+        for h in entries:
+            i = int(h.time // width)
+            if cur is None or i < cur:
+                cur = i
+            buckets[i & mask].append(h)
+        self._cur = 0 if cur is None else cur

@@ -2,9 +2,16 @@
 
 Design notes
 ------------
-* A single binary heap keyed on ``(time, seq)`` gives deterministic FIFO
-  ordering for simultaneous events — essential for reproducibility of the
-  experiment protocol (17 seeded repetitions, trim, average).
+* Events are totally ordered by ``(time, seq)``, which gives deterministic
+  FIFO ordering for simultaneous events — essential for reproducibility of
+  the experiment protocol (17 seeded repetitions, trim, average).  Two
+  interchangeable schedulers realize that order: the default binary heap,
+  and a calendar queue (``REPRO_SCHED=calendar``, read at construction
+  time like the recycling switches) that beats the heap at high pending
+  densities by replacing O(log n) Python-level ``__lt__`` calls with O(1)
+  bucket arithmetic — see :mod:`repro.sim.calqueue` and DESIGN.md §9.
+  Because both structures pop the exact same total order, every committed
+  golden fingerprint is bit-identical under either.
 * Events are *cancellable*: :meth:`Simulator.schedule` returns an
   :class:`EventHandle`; cancelled handles stay in the heap and are skipped
   on pop (the standard "lazy deletion" trick).  Re-scheduling a container's
@@ -32,6 +39,7 @@ import math
 import sys
 from typing import Any, Callable, Optional
 
+from repro.sim.calqueue import CalendarQueue, sched_mode
 from repro.sim.recycle import pool_enabled
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
@@ -106,6 +114,7 @@ class Simulator:
     __slots__ = (
         "_now",
         "_heap",
+        "_cal",
         "_seq",
         "_running",
         "_fired_count",
@@ -122,6 +131,12 @@ class Simulator:
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list[EventHandle] = []
+        # Scheduler selection (``REPRO_SCHED``), frozen at construction:
+        # ``None`` keeps the binary heap above, a CalendarQueue replaces
+        # it wholesale (the heap list then stays empty forever).
+        self._cal: Optional[CalendarQueue] = (
+            CalendarQueue() if sched_mode() == "calendar" else None
+        )
         self._seq = 0
         self._running = False
         self._fired_count = 0
@@ -153,8 +168,14 @@ class Simulator:
 
     @property
     def events_pending(self) -> int:
-        """Number of heap entries, *including* lazily-cancelled ones."""
-        return len(self._heap)
+        """Number of pending entries, *including* lazily-cancelled ones."""
+        cal = self._cal
+        return len(self._heap) if cal is None else len(cal)
+
+    @property
+    def scheduler(self) -> str:
+        """Active scheduler: ``"heap"`` or ``"calendar"``."""
+        return "heap" if self._cal is None else "calendar"
 
     @property
     def handles_recycled(self) -> int:
@@ -171,10 +192,11 @@ class Simulator:
         """Number of *live* (not lazily-cancelled) pending events.
 
         Exact: ``_cancelled_pending`` counts every cancelled entry still
-        sitting in the heap.  The validation layer uses this to decide
-        whether a run has fully drained (no in-flight work remains).
+        sitting in the scheduler.  The validation layer uses this to
+        decide whether a run has fully drained (no in-flight work
+        remains).
         """
-        return len(self._heap) - self._cancelled_pending
+        return self.events_pending - self._cancelled_pending
 
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -207,23 +229,33 @@ class Simulator:
             handle = EventHandle(time, self._seq, fn, args)
             handle.owner = self
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._heap, handle)
+        else:
+            cal.push(handle)
         return handle
 
     def _note_cancel(self) -> None:
         """Bookkeeping hook called by :meth:`EventHandle.cancel`.
 
         Once lazily-cancelled entries both exceed a fixed floor and make
-        up over half the heap, rebuild it in place without them: the
-        container rescheduling pattern can otherwise leave the heap
-        dominated by dead entries, making every push/pop pay log(dead).
+        up over half the pending set, rebuild the scheduler without them:
+        the container rescheduling pattern can otherwise leave it
+        dominated by dead entries.  Both schedulers use the identical
+        trigger, so compaction fires at the same points in a run.
         """
         self._cancelled_pending += 1
+        if self._cancelled_pending < self._COMPACT_MIN:
+            return
+        cal = self._cal
+        if cal is not None:
+            if self._cancelled_pending * 2 > len(cal):
+                cal.compact()
+                self._cancelled_pending = 0
+            return
         heap = self._heap
-        if (
-            self._cancelled_pending >= self._COMPACT_MIN
-            and self._cancelled_pending * 2 > len(heap)
-        ):
+        if self._cancelled_pending * 2 > len(heap):
             # In-place so loops holding a reference to the list stay valid.
             heap[:] = [h for h in heap if h.fn is not None]
             heapq.heapify(heap)
@@ -232,11 +264,19 @@ class Simulator:
     # ---------------------------------------------------------------- running
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` if none remain."""
-        heap = self._heap
         free = self._free
         getrefcount = sys.getrefcount
-        while heap:
-            handle = heapq.heappop(heap)
+        cal = self._cal
+        heap = self._heap
+        while True:
+            if cal is None:
+                if not heap:
+                    return False
+                handle = heapq.heappop(heap)
+            else:
+                handle = cal.pop()
+                if handle is None:
+                    return False
             if handle.fn is None:  # fired is impossible here; this means cancelled
                 if handle.cancelled:
                     self._cancelled_pending -= 1
@@ -246,31 +286,41 @@ class Simulator:
             self._now = handle.time
             fn, args = handle.fn, handle.args
             handle.fn = None  # mark fired
+            # Cleared unconditionally, not only on the recycle path: a
+            # fired handle someone retained must not pin the callback's
+            # argument graph until GC.
+            handle.args = ()
             handle.owner = None
             if self.trace_hook is not None:
                 self.trace_hook(self._now, fn, args)
             self._fired_count += 1
             fn(*args)
             if free is not None and getrefcount(handle) == 2:
-                handle.args = ()
                 free.append(handle)
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the heap drains, ``until`` is reached, or ``max_events`` fire.
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
 
         When ``until`` is given the clock is advanced to exactly ``until`` on
         return (even if the last event fired earlier), so back-to-back
         ``run(until=...)`` calls behave like a continuous timeline.
 
-        This is the hot loop of every simulation: the head peek, pop, and
-        dispatch are inlined (rather than delegating to :meth:`step`) so
-        each fired event costs one heappop plus the handler call.
+        This is the hot loop of every simulation: each scheduler gets its
+        own inlined loop (rather than delegating to :meth:`step`) so a
+        fired event costs one dequeue plus the handler call.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        if self._cal is not None:
+            self._run_calendar(until, max_events)
+        else:
+            self._run_heap(until, max_events)
+        if until is not None and self._now < until:
+            self._now = until
+
+    def _run_heap(self, until: Optional[float], max_events: Optional[int]) -> None:
         budget = math.inf if max_events is None else max_events
         heap = self._heap
         heappop = heapq.heappop
@@ -295,6 +345,7 @@ class Simulator:
                 self._now = head.time
                 fn, args = head.fn, head.args
                 head.fn = None  # mark fired
+                head.args = ()  # unconditional: see step()
                 head.owner = None
                 if self.trace_hook is not None:
                     self.trace_hook(self._now, fn, args)
@@ -302,14 +353,59 @@ class Simulator:
                 fn(*args)
                 budget -= 1
                 if free is not None and getrefcount(head) == 2:
-                    head.args = ()
                     free.append(head)
         finally:
             self._running = False
-        if until is not None and self._now < until:
-            self._now = until
+
+    def _run_calendar(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """Calendar-queue twin of :meth:`_run_heap`.
+
+        The calendar queue has no O(1) peek, so the ``until`` boundary is
+        handled by re-inserting the one head that overshoots it — an O(1)
+        append back into the bucket it came from.  The sequence of
+        *dispatched* events (and of dropped lazily-cancelled entries,
+        which both loops discard strictly in pop order up to the first
+        live head past ``until``) is identical to the heap loop's, which
+        keeps ``events_pending`` and the recycling counters bit-identical
+        between schedulers at every observable point.
+        """
+        budget = math.inf if max_events is None else max_events
+        cal = self._cal
+        pop = cal.pop
+        free = self._free
+        getrefcount = sys.getrefcount
+        try:
+            while budget > 0:
+                head = pop()
+                if head is None:
+                    break
+                if head.fn is None:  # lazily-cancelled entry: drop and rescan
+                    if head.cancelled:
+                        self._cancelled_pending -= 1
+                        if free is not None and getrefcount(head) == 2:
+                            free.append(head)
+                    continue
+                if until is not None and head.time > until:
+                    cal.push(head)
+                    break
+                self._now = head.time
+                fn, args = head.fn, head.args
+                head.fn = None  # mark fired
+                head.args = ()  # unconditional: see step()
+                head.owner = None
+                if self.trace_hook is not None:
+                    self.trace_hook(self._now, fn, args)
+                self._fired_count += 1
+                fn(*args)
+                budget -= 1
+                if free is not None and getrefcount(head) == 2:
+                    free.append(head)
+        finally:
+            self._running = False
 
     def drain(self) -> None:
         """Discard all pending events without running them."""
         self._heap.clear()
+        if self._cal is not None:
+            self._cal.clear()
         self._cancelled_pending = 0

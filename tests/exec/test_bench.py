@@ -16,11 +16,16 @@ from repro.exec.bench import (
     CHURN_CEILING_PER_100K,
     ENGINE_FLOOR_EPS,
     GC_GEN2_CEILING,
+    HISTORY_MAX,
     PACKET_FLOOR_PPS,
+    USERS_FLOOR_UPS,
     append_history,
+    bench_arrival_gen,
     bench_engine,
+    bench_engine_density,
     bench_memory,
     bench_packet_path,
+    bench_users,
     main,
     run_benchmarks,
 )
@@ -41,6 +46,55 @@ class TestBenchEngine:
         # pop-time skipping must keep the pending heap near the live set.
         result = bench_engine(50_000, fanout=32)
         assert result["pending_at_end"] < 5_000
+
+
+class TestBenchEngineDensity:
+    def test_reports_all_regimes_with_speedups(self):
+        result = bench_engine_density(20_000, regimes=(64, 1024))
+        rows = result["regimes"]
+        assert [r["pending"] for r in rows] == [64, 1024]
+        for row in rows:
+            assert row["events"] == 20_000
+            assert row["heap_events_per_sec"] > 0
+            assert row["calendar_events_per_sec"] > 0
+        assert result["high_density_speedup"] == rows[-1]["calendar_speedup"]
+
+    def test_calendar_wins_at_high_density(self):
+        # The CI gate behind the tentpole claim: at the million-user
+        # density regime the calendar queue must beat the heap by at
+        # least the conservative floor.
+        result = bench_engine_density(150_000, regimes=(131072,))
+        assert result["high_density_speedup"] >= 1.2
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            bench_engine_density(0)
+
+
+class TestBenchArrivalGen:
+    def test_batch_is_bit_identical_and_faster(self):
+        # bench_arrival_gen asserts scalar ≡ batch internally; a clean
+        # return therefore certifies bit-identity on 30k Poisson draws.
+        result = bench_arrival_gen(30_000)
+        assert result["arrivals"] == 30_000
+        assert result["scalar_arrivals_per_sec"] > 0
+        assert result["batch_speedup"] >= 1.5
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            bench_arrival_gen(0)
+
+
+class TestBenchUsers:
+    def test_reports_floor_users_per_wall_second(self):
+        result = bench_users(3_000)
+        assert result["requests"] == 3_000
+        assert result["users_per_wall_second"] >= USERS_FLOOR_UPS
+        assert result["baseline_users_per_wall_second"] > 0
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            bench_users(0)
 
 
 class TestBenchPacketPath:
@@ -80,46 +134,57 @@ class TestBenchMemory:
 
 
 class TestReport:
+    _SMALL = dict(
+        n_events=20_000,
+        n_packets=5_000,
+        n_density_events=5_000,
+        n_arrivals=5_000,
+        n_users=1_000,
+    )
+
     def test_run_benchmarks_shape(self):
-        report = run_benchmarks(
-            n_events=20_000, n_packets=5_000, skip_cell=True, skip_memory=True
-        )
-        assert report["schema"] == 3
+        report = run_benchmarks(skip_cell=True, skip_memory=True, **self._SMALL)
+        assert report["schema"] == 4
         assert report["machine"]["cpu_count"] >= 1
         assert report["engine"]["events_per_sec"] > 0
+        assert len(report["engine_density"]["regimes"]) == 3
+        assert report["arrival_gen"]["batch_arrivals_per_sec"] > 0
+        assert report["users"]["users_per_wall_second"] > 0
         assert report["packet_path"]["packets_per_sec"] > 0
         assert "cell" not in report
         assert "memory" not in report
 
     def test_memory_section_present_by_default(self):
-        report = run_benchmarks(n_events=20_000, n_packets=5_000, skip_cell=True)
+        report = run_benchmarks(skip_cell=True, **self._SMALL)
         mem = report["memory"]
         assert mem["packets"] == 5_000
         assert set(mem) == {"packets", "warmup_packets", "pooled", "unpooled"}
 
+    _SMALL_ARGV = [
+        "--events", "20000", "--packets", "5000", "--density-events", "5000",
+        "--arrivals", "5000", "--users", "1000", "--skip-cell",
+    ]
+
     def test_cli_writes_valid_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_exec.json"
-        rc = main([
-            "--events", "20000", "--packets", "5000", "--skip-cell",
-            "--skip-memory", "--out", str(out),
-        ])
+        rc = main(self._SMALL_ARGV + ["--skip-memory", "--out", str(out)])
         assert rc == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["engine"]["events"] == 20_000
         assert report["engine"]["events_per_sec"] >= ENGINE_FLOOR_EPS
         assert report["packet_path"]["packets"] == 5_000
         assert report["packet_path"]["packets_per_sec"] >= PACKET_FLOOR_PPS
         cli_out = capsys.readouterr().out
         assert "engine:" in cli_out
+        assert "density pending=" in cli_out
+        assert "arrivals:" in cli_out
+        assert "users:" in cli_out
         assert "packet:" in cli_out
 
     def test_cli_memory_line(self, tmp_path, capsys):
         out = tmp_path / "BENCH_exec.json"
-        rc = main([
-            "--events", "20000", "--packets", "5000", "--skip-cell",
-            "--out", str(out),
-        ])
+        rc = main(self._SMALL_ARGV + ["--out", str(out)])
         assert rc == 0
         assert "memory: churn/100k" in capsys.readouterr().out
 
@@ -173,6 +238,40 @@ class TestHistory:
         stamps = [h["generated_at"] for h in third["history"]]
         assert stamps == ["t0", "t1"]
         assert third["history"][1]["churn_per_100k_unpooled"] == 200_000.0
+
+    def test_schema4_rows_are_folded(self, tmp_path):
+        out = tmp_path / "BENCH_exec.json"
+        prior = {
+            "schema": 4,
+            "generated_at": "t0",
+            "engine": {"events_per_sec": 1.0},
+            "engine_density": {"high_density_speedup": 1.7},
+            "users": {"users_per_wall_second": 12_345.0},
+            "packet_path": {"packets_per_sec": 2.0},
+        }
+        out.write_text(json.dumps(prior))
+        report = {"schema": 4}
+        append_history(report, str(out))
+        (entry,) = report["history"]
+        assert entry["high_density_speedup"] == 1.7
+        assert entry["users_per_wall_second"] == 12_345.0
+
+    def test_history_is_capped_at_newest_entries(self, tmp_path):
+        out = tmp_path / "BENCH_exec.json"
+        prior = {
+            "schema": 4,
+            "generated_at": "new",
+            "history": [{"generated_at": f"old-{i}"} for i in range(HISTORY_MAX + 7)],
+        }
+        out.write_text(json.dumps(prior))
+        report = {"schema": 4}
+        append_history(report, str(out))
+        history = report["history"]
+        assert len(history) == HISTORY_MAX
+        # Newest entries win: the fold keeps the tail of the series plus
+        # the compacted prior report itself.
+        assert history[-1]["generated_at"] == "new"
+        assert history[0]["generated_at"] == f"old-{HISTORY_MAX + 7 - (HISTORY_MAX - 1)}"
 
     def test_missing_prior_file_is_ignored(self, tmp_path):
         report = {"schema": 3}

@@ -1,0 +1,68 @@
+"""Scheduler and arrival-generation modes must not change results at all.
+
+The calendar-queue scheduler (``REPRO_SCHED=calendar``) and chunked
+arrival generation (``REPRO_ARRIVALS=chunked``) are pure performance
+lanes: both are contracted to reproduce the heap/scalar event sequence
+bit-for-bit (see ``repro/sim/calqueue.py`` and
+``repro/workload/generator.py`` for the determinism arguments, and
+``tests/property/test_calqueue_equivalence.py`` for the shrinkable
+property versions).  These tests pin the contract the hard way — full
+experiment cells under every mode combination must reproduce the
+committed goldens exactly.
+
+The fault cell matters most for the scheduler: crash-during-surge
+cancels timers mid-flight (retry timeouts superseded by responses,
+watchdogs killed with their server), which is exactly where a calendar
+bucket that mis-ordered or dropped a lazily-cancelled entry would
+diverge.
+"""
+
+import pytest
+
+from repro.experiments.harness import clear_profile_cache
+from repro.validate.fingerprint import fingerprint_diff
+from repro.validate.runner import load_goldens, run_cell_validated
+from repro.validate.scenarios import fault_matrix
+from tests.exec.test_pooling_identity import _run_golden_cell
+
+MODES = [
+    ("calendar", "scalar"),
+    ("heap", "chunked"),
+    ("calendar", "chunked"),
+]
+
+
+def _set_modes(monkeypatch, sched: str, arrivals: str) -> None:
+    monkeypatch.setenv("REPRO_SCHED", sched)
+    monkeypatch.setenv("REPRO_ARRIVALS", arrivals)
+
+
+class TestGoldensModeIndependent:
+    @pytest.mark.parametrize("sched,arrivals", MODES)
+    def test_goldens_hold_under_fast_lanes(self, sched, arrivals, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "3")
+        _set_modes(monkeypatch, sched, arrivals)
+        _run_golden_cell("chain")
+
+
+class TestFaultCellFingerprintModeIndependent:
+    """crash-during-surge: the cell where timers are cancelled mid-flight."""
+
+    def _outcome(self):
+        (cell,) = fault_matrix(
+            controllers=["surgeguard"], scenarios=["crash-during-surge"]
+        )
+        clear_profile_cache()
+        out = run_cell_validated(cell)
+        assert not out.violations, out.violations
+        return cell, out
+
+    def test_fingerprints_identical_across_all_modes(self, monkeypatch):
+        _set_modes(monkeypatch, "heap", "scalar")
+        cell, baseline = self._outcome()
+        for sched, arrivals in MODES:
+            _set_modes(monkeypatch, sched, arrivals)
+            _, fast = self._outcome()
+            assert fast.fingerprint == baseline.fingerprint, (sched, arrivals)
+        golden = load_goldens()[cell.key]
+        assert fingerprint_diff(golden, baseline.fingerprint) == []

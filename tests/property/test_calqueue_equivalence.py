@@ -1,0 +1,131 @@
+"""Calendar-queue Simulator ≡ heap Simulator, and advance_batch ≡ advance.
+
+Two bit-identity contracts back the engine fast lanes added for the
+million-user tier:
+
+1. A :class:`~repro.sim.engine.Simulator` built under
+   ``REPRO_SCHED=calendar`` must fire the exact same events at the exact
+   same times in the exact same order as the default binary heap, and
+   must report the same ``events_pending`` / ``live_events_pending``
+   accounting after every step — over *random* interleavings of
+   schedule, cancel, respawn-from-callback, and partial ``run`` calls.
+
+2. :meth:`RateSchedule.advance_batch` must return bit-identical
+   timestamps to folding the scalar :meth:`RateSchedule.advance` over
+   the same unit sequence, on randomized segment tables (including
+   zero-rate segments that push arrivals to ``inf``).
+
+Plain ``==`` / ``array_equal`` throughout — no ``approx``.  The golden
+fingerprint matrix enforces the same contract end-to-end; these
+properties shrink violations to minimal counterexamples.
+"""
+
+import math
+import os
+from unittest import mock
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.workload.arrivals import RateSchedule
+
+from tests.property.test_arrivals_equivalence import schedules
+
+# Quantized delays force timestamp ties (insertion-order pops); the
+# continuous range exercises bucket spread and width estimation.
+_delays = st.one_of(
+    st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0]),
+    st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), _delays, st.integers(0, 2)),
+        st.tuples(st.just("cancel"), st.integers(0, 10_000), st.just(0)),
+        st.tuples(st.just("run"), st.integers(1, 8), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def _execute(ops, mode):
+    """Run one op program on a fresh Simulator in ``mode``.
+
+    Returns ``(fire_log, accounting_trace)`` where the log records every
+    callback as ``(now, tag)`` and the trace snapshots the pending-event
+    accounting after each op.
+    """
+    with mock.patch.dict(os.environ, {"REPRO_SCHED": mode}):
+        sim = Simulator()
+    log = []
+    handles = []
+    trace = []
+
+    def make_cb(tag, respawn, delay):
+        def cb():
+            log.append((sim.now, tag))
+            if respawn:
+                # Deterministic child event: same params on both sims.
+                child = (tag * 31 + 7) % 9973
+                handles.append(
+                    sim.schedule(delay * 0.5 + 1e-3, make_cb(child, respawn - 1, delay))
+                )
+
+        return cb
+
+    for kind, a, b in ops:
+        if kind == "schedule":
+            tag = len(handles)
+            handles.append(sim.schedule(a, make_cb(tag, b, a)))
+        elif kind == "cancel":
+            if handles:
+                handles[a % len(handles)].cancel()
+        else:  # partial run
+            sim.run(max_events=a)
+        trace.append((sim.now, sim.events_pending, sim.live_events_pending))
+    sim.run()  # drain
+    trace.append((sim.now, sim.events_pending, sim.live_events_pending))
+    return log, trace
+
+
+@given(_ops)
+@settings(max_examples=150, deadline=None)
+def test_calendar_simulator_matches_heap(ops):
+    heap_log, heap_trace = _execute(ops, "heap")
+    cal_log, cal_trace = _execute(ops, "calendar")
+    assert cal_log == heap_log
+    assert cal_trace == heap_trace
+
+
+@given(
+    schedules(),
+    st.floats(0.0, 40.0, allow_nan=False),
+    st.lists(st.floats(0.0, 50.0, allow_nan=False), max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_advance_batch_matches_scalar_fold(sched, t0, units):
+    base, spikes = sched
+    rs = RateSchedule(base, spikes)
+    got = rs.advance_batch(t0, np.asarray(units, dtype=np.float64))
+    want = np.empty(len(units), dtype=np.float64)
+    cur = t0
+    for j, u in enumerate(units):
+        # Mirrors the chunked client's contract: once the schedule is
+        # exhausted every later arrival is at infinity.
+        cur = math.inf if cur == math.inf else rs.advance(cur, float(u))
+        want[j] = cur
+    assert np.array_equal(got, want)
+
+
+@given(st.integers(1, 512), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_block_exponentials_match_sequential_draws(n, seed):
+    # The chunked client draws Poisson unit gaps as one block from the
+    # client RNG stream; numpy guarantees this equals n sequential
+    # scalar draws from an identically-seeded generator.
+    block = np.random.default_rng(seed).exponential(1.0, size=n)
+    seq_rng = np.random.default_rng(seed)
+    seq = np.array([seq_rng.exponential(1.0) for _ in range(n)])
+    assert np.array_equal(block, seq)

@@ -1,0 +1,172 @@
+"""Unit tests for the calendar-queue scheduler (`repro.sim.calqueue`)."""
+
+import heapq
+import itertools
+
+import pytest
+
+from repro.sim.calqueue import MIN_BUCKETS, SCAN_TRIGGER, CalendarQueue, sched_mode
+
+
+class _Entry:
+    """Minimal handle: time/seq/fn, ordered like EventHandle."""
+
+    __slots__ = ("time", "seq", "fn")
+    _seq = itertools.count()
+
+    def __init__(self, time, fn="live"):
+        self.time = time
+        self.seq = next(_Entry._seq)
+        self.fn = fn
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+def drain(q):
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+class TestSchedMode:
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHED", raising=False)
+        assert sched_mode() == "heap"
+
+    @pytest.mark.parametrize("raw,want", [
+        ("", "heap"), ("heap", "heap"), ("HEAP", "heap"),
+        ("calendar", "calendar"), (" Calendar ", "calendar"),
+    ])
+    def test_accepted_spellings(self, monkeypatch, raw, want):
+        monkeypatch.setenv("REPRO_SCHED", raw)
+        assert sched_mode() == want
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "btree")
+        with pytest.raises(ValueError, match="REPRO_SCHED"):
+            sched_mode()
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = CalendarQueue()
+        times = [0.5, 0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6]
+        for t in times:
+            q.push(_Entry(t))
+        assert [e.time for e in drain(q)] == sorted(times)
+
+    def test_ties_pop_in_insertion_order(self):
+        q = CalendarQueue()
+        entries = [_Entry(1.0) for _ in range(10)]
+        for e in entries:
+            q.push(e)
+        assert drain(q) == entries  # seq (== insertion) order
+
+    def test_matches_heapq_on_mixed_scales(self):
+        # Times spanning six orders of magnitude exercise resize + the
+        # direct-search fallback; the pop sequence must equal heapq's.
+        q = CalendarQueue()
+        heap = []
+        times = [(i * 2654435761 % 1000003) * 1e-6 for i in range(500)]
+        times += [t + 1e3 for t in times[:50]]  # far-future outliers
+        for t in times:
+            e = _Entry(t)
+            q.push(e)
+            heapq.heappush(heap, e)
+        want = [heapq.heappop(heap) for _ in range(len(heap))]
+        assert drain(q) == want
+
+    def test_interleaved_push_pop(self):
+        q = CalendarQueue()
+        heap = []
+        for i in range(200):
+            t = (i * 48271 % 101) * 1e-3
+            e = _Entry(t)
+            q.push(e)
+            heapq.heappush(heap, e)
+            if i % 3 == 2:
+                assert q.pop() is heapq.heappop(heap)
+        assert drain(q) == [heapq.heappop(heap) for _ in range(len(heap))]
+
+    def test_pop_empty_returns_none(self):
+        q = CalendarQueue()
+        assert q.pop() is None
+        assert len(q) == 0 and not q
+
+
+class TestResizePolicy:
+    def test_grows_past_two_per_bucket(self):
+        q = CalendarQueue()
+        for i in range(2 * MIN_BUCKETS + 1):
+            q.push(_Entry(i * 0.01))
+        assert q.nbuckets > MIN_BUCKETS
+
+    def test_shrinks_with_hysteresis_floor(self):
+        q = CalendarQueue()
+        for i in range(512):
+            q.push(_Entry(i * 0.01))
+        grown = q.nbuckets
+        assert grown >= 256
+        drain(q)
+        assert q.nbuckets == MIN_BUCKETS  # shrunk back, never below floor
+
+    def test_width_reestimated_at_resize(self):
+        q = CalendarQueue()
+        for i in range(2 * MIN_BUCKETS + 1):
+            q.push(_Entry(i * 1e-5))
+        # Width must now reflect the ~1e-5 event spacing, not the 1.0
+        # initial guess.
+        assert q.width < 1e-3
+
+    def test_zero_span_burst_keeps_width(self):
+        q = CalendarQueue()
+        for _ in range(2 * MIN_BUCKETS + 1):
+            q.push(_Entry(5.0))
+        assert q.width == 1.0  # nothing to estimate from
+
+    def test_degenerate_bucket_triggers_retune(self):
+        # A burst at one instant fixes the width while count stays
+        # stable; spreading the times afterwards must still recover via
+        # the dequeue-side retune (the classic calendar failure mode).
+        q = CalendarQueue()
+        for i in range(4 * SCAN_TRIGGER):
+            q.push(_Entry(i * 1e-6))  # all in bucket 0 at width 1.0
+        assert q.width == pytest.approx(1.0) or q.width < 1.0
+        first = q.pop()
+        assert first.time == 0.0
+        # After the first pop the retune has re-estimated the width to
+        # the µs scale, spreading the survivors across buckets.
+        assert q.width < 1e-3
+        got = [first] + drain(q)
+        assert [e.time for e in got] == sorted(e.time for e in got)
+
+
+class TestCompactAndClear:
+    def test_compact_drops_cancelled_entries(self):
+        q = CalendarQueue()
+        live = [_Entry(i * 0.1) for i in range(10)]
+        dead = [_Entry(i * 0.1 + 0.05, fn=None) for i in range(10)]
+        for e in live + dead:
+            q.push(e)
+        assert q.compact() == 10
+        assert len(q) == 10
+        assert drain(q) == live
+
+    def test_clear_empties_everything(self):
+        q = CalendarQueue()
+        for i in range(100):
+            q.push(_Entry(i * 0.01))
+        q.clear()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_push_after_clear_restarts_cursor(self):
+        q = CalendarQueue()
+        for i in range(50):
+            q.push(_Entry(10.0 + i * 0.01))
+        drain(q)
+        q.push(_Entry(0.5))  # far behind where the cursor ended up
+        got = q.pop()
+        assert got.time == 0.5

@@ -78,6 +78,25 @@ class TestCancellation:
         assert h.fn is None
         assert h.args == ()
 
+    def test_fired_handle_releases_args(self, sim):
+        # A handle the user retains past dispatch is never recycled, but
+        # it must not pin the callback's argument graph either: args are
+        # cleared unconditionally after firing, not only on the recycle
+        # path.
+        payload = ["big", "object", "graph"]
+        h = sim.schedule(1.0, lambda _: None, payload)
+        sim.run()
+        assert h.args == ()
+
+    def test_fired_handle_releases_args_under_calendar(self, monkeypatch):
+        from repro.sim.engine import Simulator
+
+        monkeypatch.setenv("REPRO_SCHED", "calendar")
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda _: None, ["payload"])
+        sim.run()
+        assert h.args == ()
+
     def test_active_property(self, sim):
         h = sim.schedule(1.0, lambda: None)
         assert h.active
