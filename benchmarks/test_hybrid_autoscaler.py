@@ -29,6 +29,10 @@ def _cfg(factory):
         duration=sc.duration,
         warmup=sc.warmup,
         profile_duration=sc.profile_duration,
+        # Real replica actuation behind the LB tier: start at 1 replica
+        # per service, budget sized to host three.
+        replicas=1,
+        replica_capacity=3,
     )
 
 

@@ -31,10 +31,27 @@ from repro.cluster.container import Container
 from repro.cluster.energy import EnergyModel
 from repro.cluster.frequency import DvfsModel
 from repro.cluster.invocation import ServiceInstance
+from repro.cluster.loadbalancer import (
+    DOWN,
+    DRAINING,
+    LB_POLICIES,
+    READY,
+    WARMING,
+    Replica,
+    ReplicaSet,
+    make_policy,
+    replica_name,
+)
 from repro.cluster.network import Network, NetworkConfig
 from repro.cluster.node import Node
 from repro.cluster.packet import REQUEST, RpcPacket
-from repro.cluster.placement import by_depth, pack_first, round_robin
+from repro.cluster.placement import (
+    by_depth,
+    expand_depths,
+    expand_replicas,
+    pack_first,
+    round_robin,
+)
 from repro.cluster.runtime import ContainerRuntime
 from repro.cluster.threadpool import ConnectionPool
 from repro.services.taskgraph import AppSpec
@@ -65,6 +82,13 @@ class ClusterConfig:
     #: Record (t, container, value) allocation/frequency change events
     #: (Fig. 14 timelines).
     record_timelines: bool = False
+    #: ``None`` = legacy unreplicated routing (no LB tier at all).  An
+    #: int ``>= 1`` arms the replica tier with that many initial replicas
+    #: per service; ``replicas=1`` is the bit-identical pass-through seam.
+    replicas: Optional[int] = None
+    #: Load-balancing policy for the replica tier (see
+    #: :mod:`repro.cluster.loadbalancer`).
+    lb_policy: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -73,6 +97,10 @@ class ClusterConfig:
             raise ValueError("cores_per_node must be positive")
         if self.placement not in ("pack", "round_robin", "by_depth"):
             raise ValueError(f"unknown placement {self.placement!r}")
+        if self.replicas is not None and self.replicas < 1:
+            raise ValueError("replicas must be >= 1 when set")
+        if self.lb_policy not in LB_POLICIES:
+            raise ValueError(f"unknown lb_policy {self.lb_policy!r}")
 
 
 class NodeView:
@@ -112,13 +140,18 @@ class NodeView:
         Task-graph adjacency is static configuration (shipped in the
         artifact's config files), so knowing it does not violate
         decentralization; the filter to same-node containers does the
-        rest.
+        rest.  ``name`` may be a replica endpoint; downstream services
+        expand to their same-node replicas (child order, then replica
+        index — the identity ordering at replicas=1).
         """
-        return [
-            d
-            for d in self._cluster.app.downstream_of(name)
-            if d in self.node.containers
-        ]
+        cl = self._cluster
+        containers = self.node.containers
+        out = []
+        for d in cl.app.downstream_of(cl.service_of(name)):
+            for rep in cl.replicas_of(d):
+                if rep in containers:
+                    out.append(rep)
+        return out
 
     def set_cores(self, name: str, cores: float) -> None:
         """Adjust a *local* container's allocation (budget-checked)."""
@@ -171,44 +204,48 @@ class Cluster:
         ]
         self.network = Network(sim, config.network, rng.stream("network"))
 
-        names = app.service_names
+        armed = config.replicas is not None
+        n_reps = config.replicas if armed else 1
+        # expand_replicas/expand_depths are the identity at n_reps=1, so
+        # the unreplicated placement maps are reproduced byte-for-byte.
+        names = expand_replicas(app.service_names, n_reps)
         if config.placement == "pack":
             placement = pack_first(names, config.n_nodes)
         elif config.placement == "round_robin":
             placement = round_robin(names, config.n_nodes)
         else:
-            placement = by_depth(app.depths(), config.n_nodes)
+            placement = by_depth(expand_depths(app.depths(), n_reps), config.n_nodes)
         self.placement: Dict[str, int] = placement
 
-        f0 = config.initial_frequency
         self.containers: Dict[str, Container] = {}
         self.runtimes: Dict[str, ContainerRuntime] = {}
         self.instances: Dict[str, ServiceInstance] = {}
+        self._spec_of = {s.name: s for s in app.services}
+        #: Replica endpoint name -> service name (entries only for the
+        #: numbered replicas; replica 0 *is* the service).
+        self._service_of: Dict[str, str] = {}
+        #: ``None`` until replication is armed — the LB tier then holds
+        #: one :class:`ReplicaSet` per service.
+        self.replica_sets: Optional[Dict[str, ReplicaSet]] = (
+            {} if armed else None
+        )
 
         for spec in app.services:
-            node = self.nodes[placement[spec.name]]
-            container = Container(
-                sim, spec.name, config.dvfs, cores=spec.initial_cores, frequency=f0
-            )
-            node.add_container(container)
-            runtime = ContainerRuntime(sim, spec.name, trace=config.trace_runtimes)
-            pools = {
-                e.child: ConnectionPool(
-                    sim,
-                    e.pool_size,
-                    setup_latency=config.conn_setup_latency,
-                    name=f"{spec.name}->{e.child}",
-                )
-                for e in spec.children
-            }
-            instance = ServiceInstance(
-                sim, spec, container, runtime, self.network, pools,
-                rng.stream(f"work.{spec.name}"),
-            )
-            self.containers[spec.name] = container
-            self.runtimes[spec.name] = runtime
-            self.instances[spec.name] = instance
-            self.network.register(spec.name, node, instance.handle_packet)
+            rset = None
+            if armed:
+                rset = ReplicaSet(spec.name, make_policy(config.lb_policy))
+                self.replica_sets[spec.name] = rset
+            for k in range(n_reps):
+                rname = replica_name(spec.name, k)
+                if k:
+                    self._service_of[rname] = spec.name
+                node = self.nodes[placement[rname]]
+                container, instance = self._deploy(spec, rname, node)
+                if armed:
+                    rset.add(
+                        Replica(rname, spec.name, k, READY, container, instance, node)
+                    )
+                    self.network.add_virtual(rname, rset)
 
         self.network.register(CLIENT, None, self._client_rx)
 
@@ -226,6 +263,38 @@ class Cluster:
         #: fault injector; ``None`` keeps ingress on the direct path.
         self.rpc = None
 
+    # ------------------------------------------------------------ deployment
+    def _deploy(self, spec, rname: str, node: Node):
+        """Build one replica's container/runtime/pools/instance and
+        register its network endpoint.  Replica 0 of an unreplicated (or
+        replicas=1) cluster reproduces the legacy construction exactly:
+        same names, same ``work.<service>`` RNG stream, same order."""
+        sim, config = self.sim, self.config
+        container = Container(
+            sim, rname, config.dvfs,
+            cores=spec.initial_cores, frequency=config.initial_frequency,
+        )
+        node.add_container(container)
+        runtime = ContainerRuntime(sim, rname, trace=config.trace_runtimes)
+        pools = {
+            e.child: ConnectionPool(
+                sim,
+                e.pool_size,
+                setup_latency=config.conn_setup_latency,
+                name=f"{rname}->{e.child}",
+            )
+            for e in spec.children
+        }
+        instance = ServiceInstance(
+            sim, spec, container, runtime, self.network, pools,
+            self.rng.stream(f"work.{rname}"), name=rname,
+        )
+        self.containers[rname] = container
+        self.runtimes[rname] = runtime
+        self.instances[rname] = instance
+        self.network.register(rname, node, instance.handle_packet)
+        return container, instance
+
     # ----------------------------------------------------------------- views
     @property
     def node_views(self) -> List[NodeView]:
@@ -235,6 +304,155 @@ class Cluster:
     def node_of(self, container_name: str) -> Node:
         """The node hosting ``container_name``."""
         return self.nodes[self.placement[container_name]]
+
+    # -------------------------------------------------------------- replicas
+    #: Draining replicas are reaped only after this long with zero
+    #: in-flight work — generously covers network flight time, so a
+    #: packet dispatched just before the drain decision always lands.
+    REAP_GRACE = 0.25
+
+    def service_of(self, container_name: str) -> str:
+        """The service a container (replica) endpoint belongs to."""
+        return self._service_of.get(container_name, container_name)
+
+    def replicas_of(self, service: str) -> List[str]:
+        """Replica endpoint names of ``service`` in index order
+        (``[service]`` itself when replication is unarmed)."""
+        if self.replica_sets is None:
+            return [service]
+        return [r.name for r in self.replica_sets[service].replicas]
+
+    def _best_node(self, need: float) -> Optional[Node]:
+        """Most-free node with room for ``need`` cores (tie: lowest index)."""
+        best = max(
+            range(len(self.nodes)),
+            key=lambda i: (self.nodes[i].free_cores, -i),
+        )
+        node = self.nodes[best]
+        return node if node.free_cores + 1e-9 >= need else None
+
+    def _schedule_ready(self, replica: Replica, delay: float) -> None:
+        if delay <= 0.0:
+            replica.state = READY
+            replica.ready_at = self.sim.now
+            return
+
+        def _ready() -> None:
+            if replica.state == WARMING:
+                replica.state = READY
+                replica.ready_at = self.sim.now
+
+        self.sim.schedule(delay, _ready)
+
+    def scale_out(self, service: str, ready_delay: float = 0.0) -> Optional[str]:
+        """Add one replica of ``service``; returns its endpoint name.
+
+        Preference order: un-drain a DRAINING replica (still warm — no
+        spin-up), revive a reaped slot, else launch a fresh replica.
+        New and revived replicas spend ``ready_delay`` WARMING — holding
+        their cores but receiving no traffic (the spin-up cost the paper
+        charges horizontal scaling with).  Returns ``None`` when no node
+        can fit the replica's initial cores.
+        """
+        if self.replica_sets is None:
+            raise RuntimeError("scale_out requires a replica-armed cluster")
+        rset = self.replica_sets[service]
+        for r in rset.replicas:
+            if r.state == DRAINING:
+                r.state = READY
+                r.draining_since = -1.0
+                return r.name
+        for r in rset.replicas:
+            if r.state == DOWN:
+                return self._revive(r, ready_delay)
+        return self._launch(service, ready_delay)
+
+    def _launch(self, service: str, ready_delay: float) -> Optional[str]:
+        spec = self._spec_of[service]
+        node = self._best_node(spec.initial_cores)
+        if node is None:
+            return None
+        rset = self.replica_sets[service]
+        idx = len(rset.replicas)
+        rname = replica_name(service, idx)
+        self.placement[rname] = self.nodes.index(node)
+        self._service_of[rname] = service
+        container, instance = self._deploy(spec, rname, node)
+        replica = Replica(rname, service, idx, WARMING, container, instance, node)
+        rset.add(replica)
+        self.network.add_virtual(rname, rset)
+        if self.config.record_timelines:
+            self.alloc_events.append((self.sim.now, rname, container.cores))
+            self.freq_events.append((self.sim.now, rname, container.frequency))
+        self._schedule_ready(replica, ready_delay)
+        return rname
+
+    def _revive(self, r: Replica, ready_delay: float) -> Optional[str]:
+        spec = self._spec_of[r.service]
+        node = self._best_node(spec.initial_cores)
+        if node is None:
+            return None
+        r.container.set_cores(spec.initial_cores)  # fresh-pod allocation
+        r.container.recommission()
+        node.add_container(r.container)
+        r.node = node
+        self.placement[r.name] = self.nodes.index(node)
+        r.instance.restart()
+        r.state = WARMING
+        if self.config.record_timelines:
+            self.alloc_events.append((self.sim.now, r.name, r.container.cores))
+        self._schedule_ready(r, ready_delay)
+        return r.name
+
+    def scale_in(self, service: str) -> Optional[str]:
+        """Start draining the highest-index READY replica of ``service``.
+
+        Replica 0 (the service-named endpoint) is never drained — it is
+        the determinism anchor and the minimum deployment.  Returns the
+        draining replica's name, or ``None`` if nothing is eligible.
+        """
+        if self.replica_sets is None:
+            raise RuntimeError("scale_in requires a replica-armed cluster")
+        rset = self.replica_sets[service]
+        pick = None
+        for r in rset.replicas:
+            if r.state == READY and r.idx > 0:
+                if pick is None or r.idx > pick.idx:
+                    pick = r
+        if pick is None:
+            return None
+        pick.state = DRAINING
+        pick.draining_since = self.sim.now
+        return pick.name
+
+    def reap_draining(self, grace: Optional[float] = None) -> int:
+        """Decommission idle DRAINING replicas past the grace period.
+
+        Their cores return to the node budget and their accounting
+        integrals freeze; the endpoint registration survives so a later
+        scale-out can revive the slot.  Returns the number reaped.
+        """
+        if self.replica_sets is None:
+            return 0
+        g = self.REAP_GRACE if grace is None else grace
+        now = self.sim.now
+        reaped = 0
+        for rset in self.replica_sets.values():
+            for r in rset.replicas:
+                if (
+                    r.state == DRAINING
+                    and r.instance.inflight == 0
+                    and now - r.draining_since >= g
+                ):
+                    r.node.remove_container(r.name)
+                    r.container.decommission()
+                    r.instance.shutdown()
+                    r.state = DOWN
+                    r.node = None
+                    if self.config.record_timelines:
+                        self.alloc_events.append((now, r.name, 0.0))
+                    reaped += 1
+        return reaped
 
     # ------------------------------------------------------------- controller
     def set_cores(self, name: str, cores: float) -> None:
@@ -352,8 +570,15 @@ class Cluster:
 
     # ------------------------------------------------------------ accounting
     def allocations(self) -> Dict[str, float]:
-        """Instantaneous {container: allocated cores} snapshot."""
-        return {name: c.cores for name, c in self.containers.items()}
+        """Instantaneous {container: allocated cores} snapshot.
+
+        Reaped (decommissioned) replicas report 0.0 — their cores are
+        back in the node budget, and the fingerprint should say so.
+        """
+        return {
+            name: 0.0 if c.decommissioned else c.cores
+            for name, c in self.containers.items()
+        }
 
     def frequencies(self) -> Dict[str, float]:
         """Instantaneous {container: frequency in Hz} snapshot."""

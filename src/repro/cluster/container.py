@@ -108,6 +108,9 @@ class Container:
         self._jid = itertools.count()
         self._last_t = sim.now
         self._next: Optional[EventHandle] = None
+        #: A reaped replica's container stops accruing alloc/freq
+        #: integrals (its cores are returned to the node) until revived.
+        self.decommissioned = False
         # Winning job + rate behind the pending next-completion event, so
         # rescheduling can be skipped when neither changed (see
         # _reschedule): all jobs burn at the same rate, so an unchanged
@@ -211,6 +214,31 @@ class Container:
         self.crashes += 1
         return killed
 
+    # ---------------------------------------------------------- replica ops
+    def decommission(self) -> None:
+        """Stop the accounting clock: the replica was reaped.
+
+        The container must be idle (scale-in drains first); its pending
+        completion event, if any, is cancelled and alloc/freq integrals
+        freeze until :meth:`recommission`.
+        """
+        if self._jobs:
+            raise RuntimeError(f"decommission of busy container {self.name!r}")
+        self._advance()
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+        self._next_jid = -1
+        self._next_rate = 0.0
+        self.decommissioned = True
+
+    def recommission(self) -> None:
+        """Restart the accounting clock for a revived replica."""
+        if not self.decommissioned:
+            raise RuntimeError(f"container {self.name!r} is not decommissioned")
+        self.decommissioned = False
+        self._last_t = self.sim.now
+
     # -------------------------------------------------------------- compute
     def submit(self, work_cycles: float, done: Callable[[], None]) -> int:
         """Start a compute phase of ``work_cycles``; ``done()`` fires on finish.
@@ -242,7 +270,7 @@ class Container:
         if dt < 0:  # pragma: no cover - engine guarantees monotonic time
             raise RuntimeError("time went backwards")
         self._last_t = now
-        if dt == 0.0:
+        if dt == 0.0 or self.decommissioned:
             return
         n = len(self._jobs)
         self.alloc_core_seconds += self._cores * dt

@@ -93,12 +93,17 @@ class ServiceInstance:
         network: Network,
         pools: Dict[str, ConnectionPool],
         rng: np.random.Generator,
+        name: Optional[str] = None,
     ):
         missing = {e.child for e in spec.children} - set(pools)
         if missing:
             raise ValueError(f"{spec.name!r}: missing pools for {sorted(missing)}")
         self.sim = sim
         self.spec = spec
+        #: Endpoint name — the replica name when this instance is one of
+        #: several copies of ``spec``; defaults to the bare service name
+        #: (and replica 0 of a replicated service keeps it too).
+        self.name = name or spec.name
         self.container = container
         self.runtime = runtime
         self.network = network
@@ -108,6 +113,9 @@ class ServiceInstance:
         self.requests_completed = 0
         #: Requests that completed as an *error* (a child call failed).
         self.requests_failed = 0
+        #: REQUESTs that arrived while the process was down and vanished
+        #: at the dead socket (replica-conservation bookkeeping).
+        self.requests_dropped_down = 0
         #: In-flight invocations killed by :meth:`crash`.
         self.inflight_killed = 0
         #: Optional :class:`repro.faults.rpc.RpcCaller` installed by a
@@ -121,6 +129,11 @@ class ServiceInstance:
         #: run can prove none were orphaned).
         self._live: set = set()
 
+    @property
+    def inflight(self) -> int:
+        """Live invocations on this instance (least-loaded LB signal)."""
+        return len(self._live)
+
     # --------------------------------------------------------------- ingress
     def handle_packet(self, pkt: RpcPacket) -> None:
         """Network endpoint handler for this service's container."""
@@ -128,6 +141,8 @@ class ServiceInstance:
             # Crashed process: requests and responses alike vanish at the
             # dead socket.  Caller-side RPC timeouts are the recovery
             # path (see repro.faults.rpc).
+            if pkt.kind == REQUEST:
+                self.requests_dropped_down += 1
             return
         if pkt.kind == RESPONSE:
             # Resume the waiting caller-side continuation.
@@ -176,9 +191,20 @@ class ServiceInstance:
     def restart(self) -> None:
         """Bring a crashed instance back up with a cold runtime window."""
         if not self._down:
-            raise RuntimeError(f"{self.spec.name!r}: restart without crash")
+            raise RuntimeError(f"{self.name!r}: restart without crash")
         self._down = False
         self.runtime.reset_window()
+
+    def shutdown(self) -> None:
+        """Orderly stop of a *drained* replica (scale-in reaping).
+
+        Unlike :meth:`crash` there is nothing to kill — reaping waits for
+        the in-flight set to empty — but the socket goes dead the same
+        way, and :meth:`restart` is the shared revival path.
+        """
+        if self._live:
+            raise RuntimeError(f"{self.name!r}: shutdown with live invocations")
+        self._down = True
 
     def _send_child(self, out: RpcPacket, on_reply, on_error) -> None:
         """Dispatch one child request: direct send, or via the RPC layer.
@@ -205,9 +231,9 @@ class ServiceInstance:
         upscale = self.runtime.outgoing_upscale(inv.upscale_in)
         if self.rpc is None:
             return self.network.pool.fork_downstream(
-                inv.pkt, dst=dst, src=self.spec.name, upscale=upscale
+                inv.pkt, dst=dst, src=self.name, upscale=upscale
             )
-        return inv.pkt.fork_downstream(dst=dst, src=self.spec.name, upscale=upscale)
+        return inv.pkt.fork_downstream(dst=dst, src=self.name, upscale=upscale)
 
     # ------------------------------------------------------------- children
     def _after_pre(self, inv: _Invocation) -> None:
@@ -310,7 +336,7 @@ class ServiceInstance:
         self.runtime.on_complete(exec_time, inv.conn_wait)
         net = self.network
         pkt = inv.pkt
-        net.send(net.pool.make_response(pkt, src=self.spec.name))
+        net.send(net.pool.make_response(pkt, src=self.name))
         # Server-side release point: the request's life ends once its
         # response is built (a no-op for unmanaged packets, i.e. whenever
         # the RPC layer shares ownership with a possibly-live retry).
@@ -328,5 +354,5 @@ class ServiceInstance:
         self.requests_failed += 1
         net = self.network
         pkt = inv.pkt
-        net.send(net.pool.make_response(pkt, src=self.spec.name, error=True))
+        net.send(net.pool.make_response(pkt, src=self.name, error=True))
         net.pool.release(pkt)

@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.cluster.node import Node
-from repro.cluster.packet import RESPONSE, PacketPool, RpcPacket
+from repro.cluster.packet import REQUEST, RESPONSE, PacketPool, RpcPacket
 
 __all__ = ["Network", "NetworkConfig"]
 
@@ -127,6 +127,14 @@ class Network:
         # (src, dst) -> (base latency, dst node, handler); safe to cache
         # forever because registration is once-only.
         self._routes: Dict[Tuple[str, str], Tuple[float, Optional[Node], Endpoint]] = {}
+        # Load-balancer tier: virtual endpoint name -> ReplicaSet.  Empty
+        # unless the cluster armed replication; the unarmed cost is one
+        # falsy-dict check per send.  Maps the service name *and* every
+        # replica endpoint, so retries to a concrete replica re-resolve.
+        self._virtual: Dict[str, object] = {}
+        #: REQUESTs the LB could not place (no READY replica); the packet
+        #: is released, not sent — mirrors a connection-refused at the VIP.
+        self.packets_unroutable = 0
         # Pre-drawn U(0,1) jitter block, consumed by index.
         self._jitter_block: List[float] = []
         self._jitter_idx = 0
@@ -158,6 +166,10 @@ class Network:
         if name in self._endpoints:
             raise ValueError(f"duplicate endpoint {name!r}")
         self._endpoints[name] = (node, handler)
+
+    def add_virtual(self, name: str, rset: object) -> None:
+        """Alias ``name`` to a replica set for LB resolution on send."""
+        self._virtual[name] = rset
 
     def endpoint_node(self, name: str) -> Optional[Node]:
         """The node hosting ``name`` (``None`` for external endpoints)."""
@@ -256,6 +268,17 @@ class Network:
         Delivery runs the destination node's RX hooks (if any) and then
         the endpoint handler.
         """
+        if self._virtual and packet.kind == REQUEST:
+            rset = self._virtual.get(packet.dst)
+            if rset is not None:
+                resolved = rset.resolve(packet)
+                if resolved is None:
+                    # No READY replica: the request dies at the VIP.
+                    self.packets_unroutable += 1
+                    packet.send_time = self.sim.now
+                    self.pool.release(packet)
+                    return
+                packet.dst = resolved
         route = self._routes.get((packet.src, packet.dst))
         if route is None:
             route = self._route(packet.src, packet.dst)

@@ -77,6 +77,13 @@ class Node:
         container.node = self
         self.containers[container.name] = container
 
+    def remove_container(self, name: str) -> Container:
+        """Evict a container (replica reaping); its cores return to the
+        node budget and feasibility sweeps stop seeing it."""
+        container = self.containers.pop(name)
+        container.node = None
+        return container
+
     @property
     def allocated(self) -> float:
         """Total cores currently allocated to containers on this node."""

@@ -11,9 +11,17 @@ scenarios do not migrate containers mid-run.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
-__all__ = ["round_robin", "pack_first", "by_depth"]
+from repro.cluster.loadbalancer import replica_name
+
+__all__ = [
+    "round_robin",
+    "pack_first",
+    "by_depth",
+    "expand_replicas",
+    "expand_depths",
+]
 
 
 def round_robin(services: Sequence[str], n_nodes: int) -> Dict[str, int]:
@@ -46,3 +54,27 @@ def by_depth(depths: Dict[str, int], n_nodes: int) -> Dict[str, int]:
     if n_nodes < 1:
         raise ValueError("need at least one node")
     return {name: depth % n_nodes for name, depth in depths.items()}
+
+
+def expand_replicas(services: Sequence[str], replicas: int) -> List[str]:
+    """Expand service names to replica endpoint names, in declaration
+    order with a service's replicas consecutive.
+
+    ``replicas=1`` is the identity (replica 0 keeps the bare service
+    name), so every placement policy produces byte-identical maps for an
+    unreplicated-equivalent cluster — the golden-fingerprint seam.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    return [replica_name(s, k) for s in services for k in range(replicas)]
+
+
+def expand_depths(depths: Dict[str, int], replicas: int) -> Dict[str, int]:
+    """Replica-expanded variant of a task-graph depth map: every replica
+    inherits its service's stage depth (stage-alternating placement
+    treats replicas of one service as one stage)."""
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    return {
+        replica_name(s, k): d for s, d in depths.items() for k in range(replicas)
+    }

@@ -6,14 +6,16 @@ out takes seconds (spin up a container, warm it, re-balance), and
 SurgeGuard "manag[es] QoS and prevent[s] request buildup while the
 autoscaler launches a new container".
 
-:class:`HorizontalAutoscaler` models a Kubernetes-HPA-style scaler on
-the simulated cluster.  Scale-out of a service is modeled as a
-*capacity* grant — its replica's worth of cores arrives after a launch
-delay — which preserves the autoscaler-relevant dynamics (utilization
-trigger, actuation lag, replica granularity) without changing the
-routing substrate.  It reads only utilization (busy/allocated cores),
-like the real HPA's CPU metric, so it can run *concurrently* with
-SurgeGuard: the two never contend for the runtime metric windows.
+:class:`HorizontalAutoscaler` models a Kubernetes-HPA-style scaler that
+actuates *replica counts* on a replica-armed cluster (see
+:mod:`repro.cluster.loadbalancer`): a scale-out launches a real replica
+behind the load balancer, which spends ``launch_delay`` WARMING —
+holding its cores but receiving no traffic — before the LB starts
+routing to it.  That actuation gap is exactly what the hybrid's
+SurgeGuard units bridge.  It reads only utilization (busy / allocated
+cores over the READY replicas of a service), like the real HPA's CPU
+metric, so it can run *concurrently* with SurgeGuard: the two never
+contend for the runtime metric windows.
 
 The hybrid is assembled by :class:`HybridController`, which owns both
 and is what the §VII bench exercises.
@@ -24,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.cluster.loadbalancer import READY, WARMING
 from repro.controllers.base import Controller
 from repro.core.config import SurgeGuardConfig
 from repro.core.surgeguard import SurgeGuardController
@@ -39,27 +42,31 @@ class HpaParams:
     #: Evaluation period (HPA default: 15 s; scaled down with the rest
     #: of the experiments).
     interval: float = 2.0
-    #: Scale out when utilization (busy / allocated) exceeds this.
+    #: Scale out when service utilization (busy / allocated over READY
+    #: replicas) exceeds this.
     target_utilization: float = 0.7
-    #: Capacity added per scale-out ("one replica"), in cores.
-    replica_cores: float = 1.0
-    #: Container launch + warm-up delay before the capacity lands.
+    #: Replica launch + warm-up delay: the new replica holds its cores
+    #: but receives no traffic until it lands.
     launch_delay: float = 3.0
     #: Scale-in when utilization stays below this.
     scale_in_utilization: float = 0.35
     #: Consecutive low-utilization periods before scale-in.
     scale_in_patience: int = 3
-    min_cores: float = 0.5
+    #: Replica-count bounds per service.
+    min_replicas: int = 1
+    max_replicas: int = 4
 
     def __post_init__(self) -> None:
         if self.interval <= 0 or self.launch_delay < 0:
             raise ValueError("invalid timing parameters")
         if not 0 < self.scale_in_utilization < self.target_utilization < 1:
             raise ValueError("need 0 < scale_in < target < 1")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
 
 
 class HorizontalAutoscaler(Controller):
-    """Utilization-triggered scale-out with launch latency."""
+    """Utilization-triggered replica-count actuation with launch latency."""
 
     name = "hpa"
 
@@ -67,19 +74,26 @@ class HorizontalAutoscaler(Controller):
         super().__init__()
         self.params = params or HpaParams()
         self._proc: Optional[PeriodicProcess] = None
+        #: Last seen busy-core integral per replica endpoint.
         self._last_busy: Dict[str, float] = {}
         self._low_streak: Dict[str, int] = {}
-        #: Scale-outs currently in flight (service -> count).
-        self._launching: Dict[str, int] = {}
         self.scale_outs = 0
         self.scale_ins = 0
+
+    def _on_attach(self) -> None:
+        assert self.cluster is not None
+        if self.cluster.replica_sets is None:
+            raise RuntimeError(
+                "HorizontalAutoscaler needs a replica-armed cluster "
+                "(set ClusterConfig.replicas / ExperimentConfig.replicas)"
+            )
 
     def _on_start(self) -> None:
         assert self.sim is not None and self.cluster is not None
         self._last_busy = {
             n: c.busy_core_seconds for n, c in self.cluster.containers.items()
         }
-        self._low_streak = {n: 0 for n in self.cluster.containers}
+        self._low_streak = {s: 0 for s in self.cluster.replica_sets}
         self._proc = PeriodicProcess(self.sim, self.params.interval, self._decide)
 
     def _on_stop(self) -> None:
@@ -87,48 +101,64 @@ class HorizontalAutoscaler(Controller):
             self._proc.stop()
 
     # ------------------------------------------------------------- decision
-    def _utilization(self, name: str) -> float:
-        assert self.cluster is not None
-        c = self.cluster.containers[name]
-        c.sync()
-        busy = c.busy_core_seconds
-        du = (busy - self._last_busy[name]) / self.params.interval
-        self._last_busy[name] = busy
-        return du / c.cores if c.cores > 0 else 0.0
+    def _utilization(self, ready) -> float:
+        """busy-delta / capacity over one interval, summed over ``ready``.
+
+        The per-replica busy baseline starts at first sight, so a replica
+        that just became READY contributes only its post-warm work.
+        """
+        busy = 0.0
+        cores = 0.0
+        for r in ready:
+            c = r.container
+            c.sync()
+            prev = self._last_busy.get(r.name, c.busy_core_seconds)
+            self._last_busy[r.name] = c.busy_core_seconds
+            busy += c.busy_core_seconds - prev
+            cores += c.cores
+        if cores <= 0:
+            return 0.0
+        return busy / (self.params.interval * cores)
 
     def _decide(self) -> None:
         assert self.cluster is not None and self.sim is not None
         self.stats.decision_cycles += 1
         p = self.params
-        for name in list(self.cluster.containers):
-            util = self._utilization(name)
-            if util > p.target_utilization:
-                self._low_streak[name] = 0
-                self._launching[name] = self._launching.get(name, 0) + 1
-                self.sim.schedule(p.launch_delay, self._land_replica, name)
-            elif util < p.scale_in_utilization and not self._launching.get(name):
-                self._low_streak[name] += 1
-                if self._low_streak[name] >= p.scale_in_patience:
-                    self._low_streak[name] = 0
-                    if self._step_cores_down(name, p.replica_cores, p.min_cores):
+        cluster = self.cluster
+        cluster.reap_draining()
+        for service, rset in cluster.replica_sets.items():
+            ready = [r for r in rset.replicas if r.state == READY]
+            warming = any(r.state == WARMING for r in rset.replicas)
+            util = self._utilization(ready)
+            if warming:
+                # Stabilization: no decisions while a launch is in flight
+                # (mirrors HPA's readiness gating; prevents thrash from
+                # utilization measured against not-yet-serving capacity).
+                self._low_streak[service] = 0
+                continue
+            if util > p.target_utilization and len(ready) < p.max_replicas:
+                self._low_streak[service] = 0
+                if cluster.scale_out(service, ready_delay=p.launch_delay):
+                    self.scale_outs += 1
+                    self.stats.upscale_core_actions += 1
+            elif util < p.scale_in_utilization and len(ready) > p.min_replicas:
+                self._low_streak[service] += 1
+                if self._low_streak[service] >= p.scale_in_patience:
+                    self._low_streak[service] = 0
+                    if cluster.scale_in(service):
                         self.scale_ins += 1
+                        self.stats.downscale_core_actions += 1
             else:
-                self._low_streak[name] = 0
-
-    def _land_replica(self, name: str) -> None:
-        """The launched container becomes ready: capacity lands."""
-        assert self.cluster is not None
-        self._launching[name] = max(self._launching.get(name, 1) - 1, 0)
-        if self._step_cores_up(name, self.params.replica_cores):
-            self.scale_outs += 1
+                self._low_streak[service] = 0
 
 
 class HybridController(Controller):
     """§VII hybrid: horizontal autoscaler + SurgeGuard side by side.
 
-    The autoscaler owns capacity trends (utilization-driven, slow); the
-    SurgeGuard units bridge the actuation gap (per-packet fast path +
-    metric-window slow path).  They share nothing but the cluster.
+    The autoscaler owns capacity trends (utilization-driven, slow,
+    replica-granular); the SurgeGuard units bridge the actuation gap
+    (per-packet fast path + metric-window slow path, per replica).  They
+    share nothing but the cluster.
     """
 
     name = "hpa+surgeguard"

@@ -15,12 +15,42 @@ drives it automatically before each measured run.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.cluster.runtime import RuntimeWindow
 
 __all__ = ["TargetConfig"]
+
+
+class _ReplicaFallback(dict):
+    """Per-container target dict that resolves replica endpoint names.
+
+    Stateless replicas share their service's profile, so a lookup for
+    ``chain2@3`` falls back to the ``chain2`` entry (and caches it, so
+    the dict stays C-speed after first touch).  Only used on
+    replica-armed runs — unarmed clusters keep plain dicts, so the
+    golden fast path never pays for the subclass.
+    """
+
+    def __missing__(self, key):
+        base = key.partition("@")[0]
+        if base != key:
+            val = dict.get(self, base)
+            if val is not None:
+                self[key] = val
+                return val
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        # dict.get never consults __missing__; route through it so
+        # FirstResponder's per-packet ``targets.get(pkt.dst)`` sees
+        # replica names too.
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 
 @dataclass(frozen=True)
@@ -48,6 +78,20 @@ class TargetConfig:
             for k, v in d.items():
                 if v <= 0:
                     raise ValueError(f"{name}[{k!r}] must be positive, got {v!r}")
+
+    def with_replica_fallback(self) -> "TargetConfig":
+        """A copy whose per-container dicts resolve replica endpoint
+        names (``svc@k``) to the service's profiled targets.
+
+        The copy is fresh per call — fallback lookups cache into it, and
+        the profile cache's shared instance must never be mutated.
+        """
+        return dataclasses.replace(
+            self,
+            expected_exec_metric=_ReplicaFallback(self.expected_exec_metric),
+            expected_exec_time=_ReplicaFallback(self.expected_exec_time),
+            expected_time_from_start=_ReplicaFallback(self.expected_time_from_start),
+        )
 
     @classmethod
     def from_windows(

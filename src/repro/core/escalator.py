@@ -186,7 +186,9 @@ class Escalator:
         for n in names:
             c = self.view.container(n)
             c.sync()
-            prev = self._freq_integral[n]
+            # .get with a current-value default: a container that appeared
+            # mid-run (a scaled-out replica) starts from a zero delta.
+            prev = self._freq_integral.get(n, c.freq_seconds)
             self._freq_integral[n] = c.freq_seconds
             prev_busy = self._busy_integral.get(n, c.busy_core_seconds)
             self._busy_integral[n] = c.busy_core_seconds
@@ -237,14 +239,17 @@ class Escalator:
         if self._pending_downscale is not None:
             n = self._pending_downscale
             self._pending_downscale = None
-            regretted = scores.get(n, 0) > 0 or (
-                windows[n].count > 0
-                and eff_metric[n]
-                > cfg.exec_th * self.targets.expected_exec_metric[n]
-            )
-            if regretted:
-                self._grant_core(n)
-                self._cooldown[n] = self.downscale_cooldown_cycles
+            # The container may have left this node between cycles (a
+            # reaped replica) — drop the pending verify in that case.
+            if n in windows:
+                regretted = scores.get(n, 0) > 0 or (
+                    windows[n].count > 0
+                    and eff_metric[n]
+                    > cfg.exec_th * self.targets.expected_exec_metric[n]
+                )
+                if regretted:
+                    self._grant_core(n)
+                    self._cooldown[n] = self.downscale_cooldown_cycles
         for n in list(self._cooldown):
             self._cooldown[n] -= 1
             if self._cooldown[n] <= 0:
@@ -303,7 +308,7 @@ class Escalator:
                 and w.queue_buildup <= cfg.queue_th
             )
             if is_comfort:
-                self._comfort_streak[n] += 1
+                self._comfort_streak[n] = self._comfort_streak.get(n, 0) + 1
                 self._freq_down(n)
                 if self._comfort_streak[n] >= cfg.downscale_patience:
                     core_candidates.append(n)

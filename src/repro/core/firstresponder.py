@@ -118,7 +118,10 @@ class FirstResponder:
         the new frequencies to the Escalator-shared region (shFreq)."""
         f_max = self.view.node.dvfs.f_max
         now = self.sim.now
+        local = self.view.node.containers
         for name in containers:
+            if name not in local:
+                continue  # replica reaped between enqueue and MSR write
             self.last_boost_time[name] = now
             c = self.view.container(name)
             if c.frequency < f_max:

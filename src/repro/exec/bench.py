@@ -1,7 +1,7 @@
 """Machine-tracked performance benchmark → ``BENCH_exec.json``.
 
-Seven measurements, deliberately simple so their trajectory is
-comparable across PRs (report ``schema: 4``):
+Eight measurements, deliberately simple so their trajectory is
+comparable across PRs (report ``schema: 5``):
 
 * **engine** — raw event-loop throughput (events/second) on a synthetic
   workload of self-rescheduling timers plus cancel churn, exercising the
@@ -25,6 +25,10 @@ comparable across PRs (report ``schema: 4``):
   the production ownership discipline (pool acquire at injection,
   release at the serving endpoint), so the row reflects whatever
   recycling mode the process runs under;
+* **lb_dispatch** (schema 5) — load-balancer routing decisions per
+  second through :meth:`~repro.cluster.loadbalancer.ReplicaSet.resolve`
+  for each registered policy over a 4-replica pool — the per-REQUEST
+  cost every replicated hop pays at the top of ``Network.send``;
 * **memory** (schema 3) — the allocation/GC profile of that same packet
   workload, measured twice (recycling on and off, in one process):
   per-generation GC collection deltas, ``tracemalloc`` peak, and
@@ -66,6 +70,7 @@ __all__ = [
     "bench_cell",
     "bench_engine",
     "bench_engine_density",
+    "bench_lb_dispatch",
     "bench_memory",
     "bench_packet_path",
     "bench_users",
@@ -113,6 +118,14 @@ USERS_FLOOR_UPS = 2_000.0
 #: on an idle dev core; slow CI runners keep an order-of-magnitude
 #: margin).
 PACKET_FLOOR_PPS = 25_000.0
+
+#: Default routing decisions per policy for the lb_dispatch measurement.
+DEFAULT_LB_DISPATCHES = 200_000
+
+#: Conservative floor on LB routing decisions/second (slowest policy).
+#: An idle dev core resolves >1M/s round-robin and >400k/s consistent-
+#: hash; the floor leaves shared CI runners an order of magnitude.
+LB_DISPATCH_FLOOR = 100_000.0
 
 #: ``--append`` history entries retained (newest last).
 HISTORY_MAX = 20
@@ -520,6 +533,68 @@ def bench_memory(n_packets: int = DEFAULT_PACKETS) -> dict:
     }
 
 
+class _DispatchPkt:
+    """Stub packet for the LB rig: policies only read the request id."""
+
+    __slots__ = ("request_id",)
+
+    def __init__(self) -> None:
+        self.request_id = 0
+
+
+def bench_lb_dispatch(n_dispatches: int = DEFAULT_LB_DISPATCHES) -> dict:
+    """Measure LB routing decisions/second per policy (4-replica pool).
+
+    Drives :meth:`ReplicaSet.resolve` — the exact per-REQUEST decision
+    point at the top of ``Network.send`` — with all replicas READY and
+    healthy, so the row times the steady-state policy cost (RR counter,
+    least-loaded scan, consistent-hash ring lookup), not lifecycle
+    filtering edge cases.
+    """
+    if n_dispatches < 1:
+        raise ValueError("n_dispatches must be >= 1")
+    from repro.cluster.loadbalancer import (
+        LB_POLICIES,
+        Replica,
+        ReplicaSet,
+        make_policy,
+        replica_name,
+    )
+
+    class _Inst:
+        def __init__(self) -> None:
+            self.inflight = 0
+            self._down = False
+
+    policies = {}
+    pkt = _DispatchPkt()
+    for name in sorted(LB_POLICIES):
+        rset = ReplicaSet("svc", make_policy(name))
+        for i in range(4):
+            r = Replica(replica_name("svc", i), "svc", i)
+            r.instance = _Inst()
+            rset.add(r)
+        resolve = rset.resolve
+        t0 = time.perf_counter()
+        for i in range(n_dispatches):
+            pkt.request_id = i
+            resolve(pkt)
+        dt = time.perf_counter() - t0
+        if rset.dispatched != n_dispatches:  # pragma: no cover - rig bug
+            raise AssertionError("LB rig dropped dispatches")
+        policies[name] = {
+            "dispatches": n_dispatches,
+            "dispatches_per_sec": n_dispatches / dt if dt > 0 else float("inf"),
+        }
+    return {
+        "replicas": 4,
+        "policies": policies,
+        "min_dispatches_per_sec": min(
+            p["dispatches_per_sec"] for p in policies.values()
+        ),
+    }
+
+
 def bench_cell(
     *, reps: int = 1, jobs: int = 1, workload: str = "chain"
 ) -> dict:
@@ -561,14 +636,15 @@ def run_benchmarks(
     n_density_events: int = DEFAULT_DENSITY_EVENTS,
     n_arrivals: int = DEFAULT_ARRIVALS,
     n_users: int = DEFAULT_USERS,
+    n_lb_dispatches: int = DEFAULT_LB_DISPATCHES,
     reps: int = 1,
     jobs: int = 1,
     skip_cell: bool = False,
     skip_memory: bool = False,
 ) -> dict:
-    """Run all measurements and return the report dict (schema 4)."""
+    """Run all measurements and return the report dict (schema 5)."""
     report = {
-        "schema": 4,
+        "schema": 5,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "machine": {
             "cpu_count": os.cpu_count(),
@@ -580,6 +656,7 @@ def run_benchmarks(
         "arrival_gen": bench_arrival_gen(n_arrivals),
         "users": bench_users(n_users),
         "packet_path": bench_packet_path(n_packets),
+        "lb_dispatch": bench_lb_dispatch(n_lb_dispatches),
     }
     if not skip_memory:
         report["memory"] = bench_memory(n_packets)
@@ -604,6 +681,9 @@ def _history_entry(report: dict) -> dict:
     users = report.get("users")
     if users:
         entry["users_per_wall_second"] = users.get("users_per_wall_second")
+    lb = report.get("lb_dispatch")
+    if lb:
+        entry["lb_min_dispatches_per_sec"] = lb.get("min_dispatches_per_sec")
     cell = report.get("cell")
     if cell:
         entry["cell_seconds_per_rep"] = cell.get("seconds_per_rep")
@@ -669,6 +749,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         help=f"end-to-end requests for the users row (default {DEFAULT_USERS})",
     )
     parser.add_argument(
+        "--lb-dispatches", type=int, default=DEFAULT_LB_DISPATCHES,
+        help="LB routing decisions per policy "
+             f"(default {DEFAULT_LB_DISPATCHES})",
+    )
+    parser.add_argument(
         "--reps", type=int, default=1, help="cell repetitions (default 1)"
     )
     parser.add_argument(
@@ -699,6 +784,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         n_density_events=args.density_events,
         n_arrivals=args.arrivals,
         n_users=args.users,
+        n_lb_dispatches=args.lb_dispatches,
         reps=args.reps,
         jobs=args.jobs,
         skip_cell=args.skip_cell,
@@ -729,6 +815,12 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     pkt = report["packet_path"]
     print(f"packet: {pkt['packets']} packets in {pkt['seconds']:.3f}s "
           f"= {pkt['packets_per_sec']:,.0f} pkt/s")
+    lb = report["lb_dispatch"]
+    lb_parts = ", ".join(
+        f"{name} {row['dispatches_per_sec']:,.0f}/s"
+        for name, row in lb["policies"].items()
+    )
+    print(f"lb:     {lb_parts} (min {lb['min_dispatches_per_sec']:,.0f}/s)")
     memory = report.get("memory")
     if memory:
         pooled, unpooled = memory["pooled"], memory["unpooled"]

@@ -116,6 +116,13 @@ def _build_hpa(**kw: Any) -> Controller:
     return HorizontalAutoscaler(HpaParams(**kw)) if kw else HorizontalAutoscaler()
 
 
+def _build_hybrid(**kw: Any) -> Controller:
+    """HPA + SurgeGuard side by side (§VII); kwargs tune the HPA half."""
+    from repro.controllers.horizontal import HybridController
+
+    return HybridController(HpaParams(**kw)) if kw else HybridController()
+
+
 def _build_surgeguard(**kw: Any) -> Controller:
     from repro.core import SurgeGuardConfig, SurgeGuardController
 
@@ -134,5 +141,6 @@ register_controller("parties", _build_parties)
 register_controller("caladan", _build_caladan)
 register_controller("ml-central", _build_ml_central)
 register_controller("hpa", _build_hpa)
+register_controller("hybrid", _build_hybrid)
 register_controller("surgeguard", _build_surgeguard)
 register_controller("escalator", _build_escalator)

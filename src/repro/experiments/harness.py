@@ -112,6 +112,19 @@ class ExperimentConfig:
     #: profile cache key deliberately excludes faults so faulty and
     #: fault-free cells of one workload share a profiling pass.
     faults: Optional[FaultPlan] = None
+    #: ``None`` = legacy unreplicated routing.  An int >= 1 arms the
+    #: replica/LB tier on the *measured* run with that many initial
+    #: replicas per service (profiling always runs unreplicated — the
+    #: per-service targets are replica-independent, and the profile
+    #: cache stays shared across replica settings).  ``replicas=1``
+    #: with the default budget is bit-identical to unreplicated.
+    replicas: Optional[int] = None
+    #: Load-balancing policy when the replica tier is armed.
+    lb_policy: str = "round_robin"
+    #: Size the node budget to host this many replicas per service
+    #: (``None`` keeps the unreplicated budget — required for the
+    #: replicas=1 identity cells).
+    replica_capacity: Optional[int] = None
 
     def resolved_rate(self) -> float:
         if self.base_rate is not None:
@@ -185,11 +198,18 @@ def clear_profile_cache() -> None:
 
 
 def _build_cluster(
-    cfg: ExperimentConfig, app: AppSpec, seed: int, *, record: bool
+    cfg: ExperimentConfig,
+    app: AppSpec,
+    seed: int,
+    *,
+    record: bool,
+    replicated: bool = False,
 ) -> Tuple[Simulator, Cluster]:
+    armed = replicated and cfg.replicas is not None
     cores = cfg.cores_per_node
     if cores is None:
-        cores = node_budget(app, n_nodes=cfg.n_nodes)
+        capacity = cfg.replica_capacity if (armed and cfg.replica_capacity) else 1
+        cores = node_budget(app, n_nodes=cfg.n_nodes, replica_capacity=capacity)
     sim = Simulator()
     rng = RngRegistry(seed)
     cluster_cfg = ClusterConfig(
@@ -198,6 +218,8 @@ def _build_cluster(
         placement=cfg.placement if cfg.n_nodes > 1 else "pack",
         record_timelines=record,
         trace_runtimes=cfg.trace_runtimes,
+        replicas=cfg.replicas if armed else None,
+        lb_policy=cfg.lb_policy,
     )
     return sim, Cluster(sim, app, cluster_cfg, rng)
 
@@ -309,9 +331,13 @@ def run_experiment(
     """
     if targets is None:
         targets = profile_targets(cfg)
+    if cfg.replicas is not None:
+        # Fresh copy with replica-name fallback — never mutate the
+        # (possibly cached, shared) profiled TargetConfig.
+        targets = targets.with_replica_fallback()
     app = cfg.resolved_app()
     sim, cluster = _build_cluster(
-        cfg, app, seed=cfg.seed, record=cfg.record_timelines
+        cfg, app, seed=cfg.seed, record=cfg.record_timelines, replicated=True
     )
     for surge_start, surge_end, surge_extra in cfg.latency_surges:
         cluster.network.add_latency_surge(surge_start, surge_end, surge_extra)
@@ -390,7 +416,9 @@ def run_experiment(
     alloc_cs = 0.0
     energy = 0.0
     for name, c in cluster.containers.items():
-        a0, b0 = snap[name]
+        # Containers born after the measurement boundary (scaled-out
+        # replicas) have no snapshot: their whole accrual is in-window.
+        a0, b0 = snap.get(name, (0.0, 0.0))
         alloc_cs += c.alloc_core_seconds - a0
         energy += dvfs.static_w * (c.alloc_core_seconds - a0)
         energy += dvfs.dyn_w_at_fmax * (c.busy_weighted_seconds - b0)

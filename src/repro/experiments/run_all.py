@@ -133,6 +133,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig15": _driver("fig15_breakdown", data_fn="run_fig15"),
     "overheads": _driver("overheads", data_fn=None),
     "resilience": _driver("resilience", data_fn="run_resilience"),
+    "horizontal": _driver("horizontal", data_fn="run_horizontal"),
 }
 
 

@@ -108,14 +108,27 @@ def calibrate_initial_cores(
     return dataclasses.replace(app, services=tuple(new_services))
 
 
-def node_budget(app: AppSpec, *, headroom: float = 0.65, n_nodes: int = 1) -> float:
+def node_budget(
+    app: AppSpec,
+    *,
+    headroom: float = 0.65,
+    n_nodes: int = 1,
+    replica_capacity: int = 1,
+) -> float:
     """Per-node workload core budget, paper-style (initial = 2/3 of budget).
 
     For multi-node runs the per-node budget is kept at the single-node
     value (the paper keeps 52 workload cores per node as it scales out),
     which is what makes larger clusters *less* resource-constrained.
+
+    ``replica_capacity`` sizes the budget for horizontal scaling: the
+    cluster can host up to that many replicas of every service at their
+    initial allocations (plus the usual headroom).  The default of 1
+    reproduces the unreplicated budget exactly.
     """
-    total_init = sum(s.initial_cores for s in app.services)
+    if replica_capacity < 1:
+        raise ValueError("replica_capacity must be >= 1")
+    total_init = sum(s.initial_cores for s in app.services) * replica_capacity
     per_node_init = total_init / n_nodes
     return max(math.ceil(per_node_init / headroom), math.ceil(total_init / headroom / n_nodes))
 

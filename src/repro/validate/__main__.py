@@ -17,9 +17,12 @@ from repro.validate.scenarios import (
     CONTROLLERS,
     FAULT_CONTROLLERS,
     FAULT_SCENARIOS,
+    HORIZONTAL_CONTROLLERS,
+    HORIZONTAL_SCENARIOS,
     SCENARIOS,
     WORKLOADS,
     fault_matrix,
+    horizontal_matrix,
     scenario_matrix,
 )
 
@@ -37,11 +40,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         help="restrict to a workload family (repeatable)",
     )
     parser.add_argument(
-        "--controller", action="append", choices=CONTROLLERS,
+        "--controller", action="append",
+        choices=CONTROLLERS + HORIZONTAL_CONTROLLERS,
         help="restrict to a controller (repeatable)",
     )
     parser.add_argument(
-        "--scenario", action="append", choices=SCENARIOS + FAULT_SCENARIOS,
+        "--scenario", action="append",
+        choices=SCENARIOS + FAULT_SCENARIOS + HORIZONTAL_SCENARIOS,
         help="restrict to a traffic shape or fault scenario (repeatable)",
     )
     parser.add_argument(
@@ -57,24 +62,32 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    # The two families share the filter flags: each family keeps the
-    # scenario names it recognises (a fault-only filter yields no base
-    # cells and vice versa), and fault cells exist only for the chain
-    # workload and its controller subset.
-    base_shapes = fault_shapes = None
+    # The three families share the filter flags: each family keeps the
+    # controller / scenario names it recognises (a fault-only filter
+    # yields no base cells and vice versa), and fault cells exist only
+    # for the chain workload and its controller subset.
+    base_shapes = fault_shapes = hpa_shapes = None
     if args.scenario is not None:
         base_shapes = [s for s in args.scenario if s in SCENARIOS]
         fault_shapes = [s for s in args.scenario if s in FAULT_SCENARIOS]
-    fault_ctrls = None
+        hpa_shapes = [s for s in args.scenario if s in HORIZONTAL_SCENARIOS]
+    base_ctrls = fault_ctrls = hpa_ctrls = None
     if args.controller is not None:
+        base_ctrls = [c for c in args.controller if c in CONTROLLERS]
         fault_ctrls = [c for c in args.controller if c in FAULT_CONTROLLERS]
+        hpa_ctrls = [c for c in args.controller if c in HORIZONTAL_CONTROLLERS]
     cells = scenario_matrix(
         workloads=args.workload,
-        controllers=args.controller,
+        controllers=base_ctrls,
         scenarios=base_shapes,
     )
     if args.workload is None or "chain" in args.workload:
         cells += fault_matrix(controllers=fault_ctrls, scenarios=fault_shapes)
+    cells += horizontal_matrix(
+        workloads=args.workload,
+        controllers=hpa_ctrls,
+        scenarios=hpa_shapes,
+    )
     if args.list:
         for cell in cells:
             print(cell.key)

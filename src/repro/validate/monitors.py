@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.loadbalancer import WARMING
 from repro.cluster.packet import REQUEST, RESPONSE, RpcPacket
 from repro.cluster.tracing import RequestTracer
 from repro.sim.engine import Simulator
@@ -38,6 +39,7 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "MonitorSet",
+    "ReplicaConservationMonitor",
     "RequestConservationMonitor",
     "TraceCausalityMonitor",
     "default_monitors",
@@ -536,6 +538,71 @@ class FaultResilienceMonitor(InvariantMonitor):
             )
 
 
+class ReplicaConservationMonitor(InvariantMonitor):
+    """The load-balancer tier's routing ledger balances exactly.
+
+    Pure finalize-time checks against the counters the LB and the
+    service instances already keep (nothing is hooked); arming it on an
+    unreplicated run (``cluster.replica_sets is None``) is a no-op, so
+    the monitor is free for the legacy matrix families.
+
+    Per :class:`~repro.cluster.loadbalancer.ReplicaSet`:
+
+    * the set's dispatch counter equals the sum over its replicas —
+      every routed request was pinned to exactly one replica;
+    * no dispatch ever resolved to a non-READY replica (warming and
+      reaped replicas receive no traffic, ever);
+    * each replica received at most what was dispatched to it
+      (``requests_started + requests_dropped_down <= dispatched``), with
+      exact equality once the simulation fully drains — a gap on a
+      drained run is a packet lost between the LB and the replica;
+    * a replica that never reached READY handled zero requests.
+    """
+
+    name = "replica-conservation"
+
+    def _finalize(self) -> None:
+        assert self.cluster is not None and self.sim is not None
+        rsets = getattr(self.cluster, "replica_sets", None)
+        if not rsets:
+            return
+        drained = self.sim.live_events_pending == 0
+        for service, rset in rsets.items():
+            self.checks += 1
+            routed = sum(r.dispatched for r in rset.replicas)
+            if rset.dispatched != routed:
+                self.record(
+                    f"service {service!r}: LB dispatched {rset.dispatched} "
+                    f"requests but replicas account for {routed}"
+                )
+            if rset.nonready_dispatches:
+                self.record(
+                    f"service {service!r}: {rset.nonready_dispatches} "
+                    f"dispatch(es) resolved to a non-READY replica"
+                )
+            for r in rset.replicas:
+                self.checks += 1
+                inst = r.instance
+                received = inst.requests_started + inst.requests_dropped_down
+                if received > r.dispatched:
+                    self.record(
+                        f"replica {r.name!r} received {received} requests "
+                        f"but only {r.dispatched} were dispatched to it"
+                    )
+                elif drained and received != r.dispatched:
+                    self.record(
+                        f"replica {r.name!r}: {r.dispatched} requests "
+                        f"dispatched but only {received} arrived "
+                        f"(started {inst.requests_started} + dropped-down "
+                        f"{inst.requests_dropped_down}) on a drained run"
+                    )
+                if r.state == WARMING and r.ready_at < 0 and received:
+                    self.record(
+                        f"replica {r.name!r} handled {received} request(s) "
+                        f"without ever reaching READY"
+                    )
+
+
 def default_monitors() -> List[InvariantMonitor]:
     """One fresh instance of every built-in monitor."""
     return [
@@ -545,6 +612,7 @@ def default_monitors() -> List[InvariantMonitor]:
         TraceCausalityMonitor(),
         EscalatorSanityMonitor(),
         FaultResilienceMonitor(),
+        ReplicaConservationMonitor(),
     ]
 
 

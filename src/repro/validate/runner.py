@@ -18,7 +18,12 @@ from typing import Dict, List, Optional
 from repro.experiments.harness import clear_profile_cache, run_experiment
 from repro.validate.fingerprint import fingerprint_diff, scenario_fingerprint
 from repro.validate.monitors import MonitorSet
-from repro.validate.scenarios import Scenario, fault_matrix, scenario_matrix
+from repro.validate.scenarios import (
+    Scenario,
+    fault_matrix,
+    horizontal_matrix,
+    scenario_matrix,
+)
 
 __all__ = ["CellOutcome", "MatrixReport", "golden_path", "run_matrix"]
 
@@ -117,7 +122,7 @@ def run_matrix(
     rewritten — a filtered run updates a filtered set).
     """
     if cells is None:
-        cells = scenario_matrix() + fault_matrix()
+        cells = scenario_matrix() + fault_matrix() + horizontal_matrix()
     goldens = load_goldens(golden_file)
     report = MatrixReport()
     # Profiling is memoized per workload — clear once up front so the

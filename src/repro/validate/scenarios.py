@@ -36,10 +36,13 @@ __all__ = [
     "CONTROLLERS",
     "FAULT_CONTROLLERS",
     "FAULT_SCENARIOS",
+    "HORIZONTAL_CONTROLLERS",
+    "HORIZONTAL_SCENARIOS",
     "SCENARIOS",
     "WORKLOADS",
     "Scenario",
     "fault_matrix",
+    "horizontal_matrix",
     "scenario_matrix",
 ]
 
@@ -179,6 +182,87 @@ def _fault_cell_config(workload_key: str, controller: str, scenario: str) -> Exp
             **_SPIKE,
         )
     raise ValueError(f"unknown fault scenario {scenario!r}")
+
+
+#: Horizontal-family controllers: the replica autoscaler alone and the
+#: §VII hybrid (HPA + SurgeGuard) that bridges its launch gap.
+HORIZONTAL_CONTROLLERS: Tuple[str, ...] = ("hpa", "hybrid")
+
+#: Horizontal-family scenarios.
+HORIZONTAL_SCENARIOS: Tuple[str, ...] = ("replica-surge",)
+
+#: HPA knobs for the horizontal cells.  The tight interval and short
+#: launch delay make the autoscaler actually fire inside a 2 s
+#: measurement window; ``scale_in_patience`` is set beyond the cell
+#: horizon so no replica is reaped mid-run (keeps every container in
+#: the final-allocation fingerprint with positive cores).
+_HPA_CELL = dict(
+    interval=0.25,
+    launch_delay=0.3,
+    max_replicas=3,
+    scale_in_patience=40,
+)
+
+
+def _horizontal_cell_config(workload_key: str, controller: str, scenario: str) -> ExperimentConfig:
+    if scenario not in HORIZONTAL_SCENARIOS:
+        raise ValueError(f"unknown horizontal scenario {scenario!r}")
+    return ExperimentConfig(
+        workload=workload_key,
+        controller_factory=spec(controller, **_HPA_CELL),
+        # Replicas are real here: start at 1 per service behind the LB,
+        # with node budget sized to host the autoscaler's max.
+        replicas=1,
+        lb_policy="round_robin",
+        replica_capacity=_HPA_CELL["max_replicas"],
+        **_SPIKE,
+        **_BASE,
+    )
+
+
+def horizontal_matrix(
+    *,
+    workloads: Optional[List[str]] = None,
+    controllers: Optional[List[str]] = None,
+    scenarios: Optional[List[str]] = None,
+) -> List[Scenario]:
+    """The replica-scaling cells: every workload family × {hpa, hybrid}
+    under the standard periodic surge, with the LB tier armed."""
+    families = list(WORKLOADS) if workloads is None else workloads
+    ctrls = list(HORIZONTAL_CONTROLLERS) if controllers is None else controllers
+    shapes = list(HORIZONTAL_SCENARIOS) if scenarios is None else scenarios
+    cells = []
+    for family in families:
+        try:
+            workload_key = WORKLOADS[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload family {family!r}; known: {sorted(WORKLOADS)}"
+            ) from None
+        for controller in ctrls:
+            if controller not in HORIZONTAL_CONTROLLERS:
+                raise KeyError(
+                    f"unknown horizontal controller {controller!r}; "
+                    f"known: {list(HORIZONTAL_CONTROLLERS)}"
+                )
+            for scenario in shapes:
+                if scenario not in HORIZONTAL_SCENARIOS:
+                    raise KeyError(
+                        f"unknown horizontal scenario {scenario!r}; "
+                        f"known: {list(HORIZONTAL_SCENARIOS)}"
+                    )
+                cells.append(
+                    Scenario(
+                        workload_family=family,
+                        workload_key=workload_key,
+                        controller=controller,
+                        scenario=scenario,
+                        config=_horizontal_cell_config(
+                            workload_key, controller, scenario
+                        ),
+                    )
+                )
+    return cells
 
 
 def fault_matrix(

@@ -1,7 +1,13 @@
-"""Tests for the §VII horizontal-autoscaler interaction."""
+"""Tests for the §VII horizontal-autoscaler interaction.
+
+The autoscaler actuates *replica counts* behind the load-balancer tier:
+scale-out launches a real replica that warms for ``launch_delay`` before
+receiving traffic, scale-in drains and reaps the highest-index replica.
+"""
 
 import pytest
 
+from repro.cluster.loadbalancer import READY
 from repro.controllers.horizontal import (
     HorizontalAutoscaler,
     HpaParams,
@@ -11,30 +17,59 @@ from repro.experiments.harness import run_experiment
 from tests.controllers.conftest import mini_config
 
 
+def _replicated(factory, **overrides):
+    overrides.setdefault("replicas", 1)
+    return mini_config(factory, **overrides)
+
+
+class _ClusterProbe:
+    """Capture end-state replica counts via the harness probe hook."""
+
+    def __init__(self):
+        self.ready_counts = {}
+        self.total_counts = {}
+
+    def __call__(self, sim, cluster):
+        for svc, rset in cluster.replica_sets.items():
+            self.ready_counts[svc] = sum(
+                1 for r in rset.replicas if r.state == READY
+            )
+            self.total_counts[svc] = len(rset.replicas)
+
+
 class TestParams:
     def test_invalid_params_rejected(self):
         with pytest.raises(ValueError):
             HpaParams(interval=0.0)
         with pytest.raises(ValueError):
             HpaParams(scale_in_utilization=0.8, target_utilization=0.7)
+        with pytest.raises(ValueError):
+            HpaParams(min_replicas=3, max_replicas=2)
+
+    def test_requires_replica_armed_cluster(self):
+        cfg = mini_config(lambda: HorizontalAutoscaler())  # replicas=None
+        with pytest.raises(RuntimeError, match="replica-armed"):
+            run_experiment(cfg)
 
 
 class TestHorizontalAlone:
-    def test_scales_out_under_sustained_load(self):
-        cfg = mini_config(
+    def test_scales_out_replicas_under_sustained_load(self):
+        probe = _ClusterProbe()
+        cfg = _replicated(
             lambda: HorizontalAutoscaler(HpaParams(interval=0.5, launch_delay=1.0)),
             spike_magnitude=2.5,
             spike_len=4.0,
             duration=7.0,
         )
-        res = run_experiment(cfg)
+        res = run_experiment(cfg, probe=probe)
         assert res.controller_stats.upscale_core_actions > 0
+        assert any(n > 1 for n in probe.total_counts.values())
 
     def test_launch_delay_defers_capacity(self):
-        """With a launch delay longer than the surge, capacity lands too
-        late to help during it — the §VII gap SurgeGuard bridges."""
+        """With a launch delay longer than the surge, the replica lands
+        too late to help during it — the §VII gap SurgeGuard bridges."""
         slow = run_experiment(
-            mini_config(
+            _replicated(
                 lambda: HorizontalAutoscaler(
                     HpaParams(interval=0.5, launch_delay=5.0)
                 ),
@@ -42,7 +77,7 @@ class TestHorizontalAlone:
             )
         )
         fast = run_experiment(
-            mini_config(
+            _replicated(
                 lambda: HorizontalAutoscaler(
                     HpaParams(interval=0.5, launch_delay=0.25)
                 ),
@@ -51,16 +86,19 @@ class TestHorizontalAlone:
         assert fast.violation_volume <= slow.violation_volume
 
     def test_scales_in_when_idle(self):
-        cfg = mini_config(
+        probe = _ClusterProbe()
+        cfg = _replicated(
             lambda: HorizontalAutoscaler(
                 HpaParams(interval=0.25, scale_in_patience=2, launch_delay=0.5)
             ),
+            replicas=2,  # start above min_replicas so scale-in has room
             spike_magnitude=None,
             base_rate=100.0,  # almost idle on the initial allocation
             duration=4.0,
         )
-        res = run_experiment(cfg)
+        res = run_experiment(cfg, probe=probe)
         assert res.controller_stats.downscale_core_actions > 0
+        assert all(n == 1 for n in probe.ready_counts.values())
 
 
 class TestHybrid:
@@ -69,16 +107,16 @@ class TestHybrid:
         SurgeGuard units hold QoS in the meantime."""
         hpa = HpaParams(interval=0.5, launch_delay=2.0)
         alone = run_experiment(
-            mini_config(lambda: HorizontalAutoscaler(hpa), spike_len=1.5)
+            _replicated(lambda: HorizontalAutoscaler(hpa), spike_len=1.5)
         )
         hybrid = run_experiment(
-            mini_config(lambda: HybridController(hpa), spike_len=1.5)
+            _replicated(lambda: HybridController(hpa), spike_len=1.5)
         )
         assert hybrid.violation_volume < alone.violation_volume
 
     def test_hybrid_counts_both_units_actions(self):
         res = run_experiment(
-            mini_config(
+            _replicated(
                 lambda: HybridController(HpaParams(interval=0.5, launch_delay=1.0))
             )
         )

@@ -12,17 +12,20 @@ import json
 
 import pytest
 
+from repro.cluster.loadbalancer import LB_POLICIES
 from repro.exec.bench import (
     CHURN_CEILING_PER_100K,
     ENGINE_FLOOR_EPS,
     GC_GEN2_CEILING,
     HISTORY_MAX,
+    LB_DISPATCH_FLOOR,
     PACKET_FLOOR_PPS,
     USERS_FLOOR_UPS,
     append_history,
     bench_arrival_gen,
     bench_engine,
     bench_engine_density,
+    bench_lb_dispatch,
     bench_memory,
     bench_packet_path,
     bench_users,
@@ -133,6 +136,22 @@ class TestBenchMemory:
             bench_memory(0)
 
 
+class TestBenchLbDispatch:
+    def test_reports_floor_dispatches_per_sec_for_every_policy(self):
+        result = bench_lb_dispatch(30_000)
+        assert set(result["policies"]) == set(LB_POLICIES)
+        for row in result["policies"].values():
+            assert row["dispatches"] == 30_000
+        assert result["min_dispatches_per_sec"] >= LB_DISPATCH_FLOOR
+        assert result["min_dispatches_per_sec"] == min(
+            row["dispatches_per_sec"] for row in result["policies"].values()
+        )
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            bench_lb_dispatch(0)
+
+
 class TestReport:
     _SMALL = dict(
         n_events=20_000,
@@ -140,17 +159,22 @@ class TestReport:
         n_density_events=5_000,
         n_arrivals=5_000,
         n_users=1_000,
+        n_lb_dispatches=20_000,
     )
 
     def test_run_benchmarks_shape(self):
         report = run_benchmarks(skip_cell=True, skip_memory=True, **self._SMALL)
-        assert report["schema"] == 4
+        assert report["schema"] == 5
         assert report["machine"]["cpu_count"] >= 1
         assert report["engine"]["events_per_sec"] > 0
         assert len(report["engine_density"]["regimes"]) == 3
         assert report["arrival_gen"]["batch_arrivals_per_sec"] > 0
         assert report["users"]["users_per_wall_second"] > 0
         assert report["packet_path"]["packets_per_sec"] > 0
+        lb = report["lb_dispatch"]
+        assert lb["replicas"] == 4
+        assert set(lb["policies"]) == set(LB_POLICIES)
+        assert lb["min_dispatches_per_sec"] > 0
         assert "cell" not in report
         assert "memory" not in report
 
@@ -162,7 +186,8 @@ class TestReport:
 
     _SMALL_ARGV = [
         "--events", "20000", "--packets", "5000", "--density-events", "5000",
-        "--arrivals", "5000", "--users", "1000", "--skip-cell",
+        "--arrivals", "5000", "--users", "1000", "--lb-dispatches", "20000",
+        "--skip-cell",
     ]
 
     def test_cli_writes_valid_json(self, tmp_path, capsys):
@@ -170,7 +195,7 @@ class TestReport:
         rc = main(self._SMALL_ARGV + ["--skip-memory", "--out", str(out)])
         assert rc == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == 4
+        assert report["schema"] == 5
         assert report["engine"]["events"] == 20_000
         assert report["engine"]["events_per_sec"] >= ENGINE_FLOOR_EPS
         assert report["packet_path"]["packets"] == 5_000
@@ -181,6 +206,7 @@ class TestReport:
         assert "arrivals:" in cli_out
         assert "users:" in cli_out
         assert "packet:" in cli_out
+        assert "lb:" in cli_out
 
     def test_cli_memory_line(self, tmp_path, capsys):
         out = tmp_path / "BENCH_exec.json"
@@ -255,6 +281,19 @@ class TestHistory:
         (entry,) = report["history"]
         assert entry["high_density_speedup"] == 1.7
         assert entry["users_per_wall_second"] == 12_345.0
+
+    def test_schema5_lb_row_is_folded(self, tmp_path):
+        out = tmp_path / "BENCH_exec.json"
+        prior = {
+            "schema": 5,
+            "generated_at": "t0",
+            "lb_dispatch": {"min_dispatches_per_sec": 456_789.0},
+        }
+        out.write_text(json.dumps(prior))
+        report = {"schema": 5}
+        append_history(report, str(out))
+        (entry,) = report["history"]
+        assert entry["lb_min_dispatches_per_sec"] == 456_789.0
 
     def test_history_is_capped_at_newest_entries(self, tmp_path):
         out = tmp_path / "BENCH_exec.json"

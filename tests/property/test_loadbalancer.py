@@ -1,0 +1,188 @@
+"""Property-based tests on the load-balancer tier's routing invariants.
+
+The policies are pure selection functions over a replica pool, so the
+properties hold pointwise — no simulator needed:
+
+* round-robin is *exactly* fair over any prefix of dispatches;
+* least-loaded never picks a strictly more-loaded ready replica;
+* consistent hashing is stable per key and minimally disruptive when
+  the pool grows (moved keys land only on the new replica);
+* across arbitrary lifecycle interleavings the set never dispatches to
+  a warming replica, and routes to a crashed one only when failing
+  open (every ready replica crashed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.loadbalancer import (
+    DRAINING,
+    READY,
+    WARMING,
+    ConsistentHashPolicy,
+    LeastLoadedPolicy,
+    Replica,
+    ReplicaSet,
+    RoundRobinPolicy,
+    replica_name,
+)
+
+
+class _Inst:
+    """Stub instance: just the fields the LB reads."""
+
+    def __init__(self, inflight=0, down=False):
+        self.inflight = inflight
+        self._down = down
+
+
+class _Pkt:
+    """Stub packet: policies only read the request id."""
+
+    def __init__(self, request_id):
+        self.request_id = request_id
+
+
+def _replica(idx, state=READY, inflight=0, down=False, service="svc"):
+    r = Replica(replica_name(service, idx), service, idx, state)
+    r.instance = _Inst(inflight=inflight, down=down)
+    return r
+
+
+def _rset(replicas, policy):
+    rset = ReplicaSet("svc", policy)
+    for r in replicas:
+        rset.add(r)
+    return rset
+
+
+# ------------------------------------------------------------- round robin
+@given(n=st.integers(2, 6), k=st.integers(1, 200))
+@settings(max_examples=60, deadline=None)
+def test_round_robin_exactly_fair_over_every_prefix(n, k):
+    rset = _rset([_replica(i) for i in range(n)], RoundRobinPolicy())
+    for i in range(k):
+        assert rset.resolve(_Pkt(i)) is not None
+        counts = [r.dispatched for r in rset.replicas]
+        assert max(counts) - min(counts) <= 1  # fair at *every* prefix
+    assert rset.dispatched == k == sum(r.dispatched for r in rset.replicas)
+
+
+# ------------------------------------------------------------ least loaded
+@given(loads=st.lists(st.integers(0, 50), min_size=2, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_least_loaded_never_picks_a_strictly_more_loaded_replica(loads):
+    replicas = [_replica(i, inflight=load) for i, load in enumerate(loads)]
+    rset = _rset(replicas, LeastLoadedPolicy())
+    picked = rset.resolve(_Pkt(0))
+    chosen = rset.by_name(picked)
+    assert chosen.inflight == min(loads)
+    # Deterministic tiebreak: the first replica at the minimum load.
+    assert chosen.idx == loads.index(min(loads))
+
+
+# -------------------------------------------------------- consistent hash
+@given(
+    n=st.integers(2, 5),
+    keys=st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_consistent_hash_is_stable_per_key(n, keys):
+    pool = [_replica(i) for i in range(n)]
+    policy = ConsistentHashPolicy()
+    first = {k: policy.select(pool, _Pkt(k)).name for k in keys}
+    # Re-asking (any order, interleaved) never moves a key.
+    for k in reversed(keys):
+        assert policy.select(pool, _Pkt(k)).name == first[k]
+
+
+@given(
+    n=st.integers(2, 5),
+    keys=st.lists(
+        st.integers(0, 2**63 - 1), min_size=1, max_size=50, unique=True
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_consistent_hash_minimal_remap_on_scale_out(n, keys):
+    policy = ConsistentHashPolicy()
+    pool = [_replica(i) for i in range(n)]
+    before = {k: policy.select(pool, _Pkt(k)).name for k in keys}
+    grown = pool + [_replica(n)]
+    new_name = grown[-1].name
+    for k in keys:
+        after = policy.select(grown, _Pkt(k)).name
+        # Minimal disruption: a key either stays put or moves onto the
+        # *new* replica — never between surviving replicas.
+        assert after == before[k] or after == new_name
+
+
+def test_consistent_hash_remap_fraction_is_bounded():
+    """Expected moved fraction when growing N -> N+1 is 1/(N+1); with 64
+    vnodes the variance is small, so a generous 2× bound is stable."""
+    policy = ConsistentHashPolicy()
+    n, n_keys = 3, 600
+    pool = [_replica(i) for i in range(n)]
+    before = {k: policy.select(pool, _Pkt(k)).name for k in range(n_keys)}
+    grown = pool + [_replica(n)]
+    moved = sum(
+        1
+        for k in range(n_keys)
+        if policy.select(grown, _Pkt(k)).name != before[k]
+    )
+    assert moved / n_keys <= 2.0 / (n + 1)
+    assert moved > 0  # the new replica does take ownership of keys
+
+
+# ------------------------------------------------- lifecycle interleavings
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["ready", "warm", "drain", "crash", "heal", "send"]),
+        st.integers(0, 4),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    ops=_OPS,
+    policy_cls=st.sampled_from(
+        [RoundRobinPolicy, LeastLoadedPolicy, ConsistentHashPolicy]
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_no_traffic_to_warming_replicas_under_any_interleaving(ops, policy_cls):
+    replicas = [_replica(i, state=WARMING if i else READY) for i in range(5)]
+    rset = _rset(replicas, policy_cls())
+    sent = 0
+    for op, i in ops:
+        r = replicas[i]
+        if op == "ready":
+            if r.state in (WARMING, DRAINING):
+                r.state = READY
+        elif op == "warm":
+            r.state = WARMING
+        elif op == "drain":
+            r.state = DRAINING
+        elif op == "crash":
+            r.instance._down = True
+        elif op == "heal":
+            r.instance._down = False
+        else:  # send
+            before = {x.name: x.dispatched for x in replicas}
+            name = rset.resolve(_Pkt(sent))
+            sent += 1
+            ready = [x for x in replicas if x.state == READY]
+            if not ready:
+                assert name is None  # discarded, counted unroutable
+                continue
+            chosen = rset.by_name(name)
+            # Never a warming / draining replica, under any history.
+            assert chosen.state == READY
+            assert chosen.dispatched == before[name] + 1
+            # A crashed replica is chosen only by failing open.
+            if chosen.down:
+                assert all(x.down for x in ready)
+    assert rset.nonready_dispatches == 0
+    assert rset.dispatched + rset.unroutable == sent
+    assert rset.dispatched == sum(r.dispatched for r in replicas)

@@ -92,5 +92,6 @@ class TestMonitorSetFingerprints:
             "trace-causality",
             "escalator-sanity",
             "fault-resilience",
+            "replica-conservation",
         }
         assert all(v == 0 for v in monitors.by_monitor().values())

@@ -18,9 +18,12 @@ from repro.validate.scenarios import (
     CONTROLLERS,
     FAULT_CONTROLLERS,
     FAULT_SCENARIOS,
+    HORIZONTAL_CONTROLLERS,
+    HORIZONTAL_SCENARIOS,
     SCENARIOS,
     WORKLOADS,
     fault_matrix,
+    horizontal_matrix,
     scenario_matrix,
 )
 
@@ -74,6 +77,32 @@ class TestMatrixConstruction:
         # Base cells never carry faults.
         assert all(c.config.faults is None for c in scenario_matrix())
 
+    def test_horizontal_matrix_shape(self):
+        cells = horizontal_matrix()
+        assert len(cells) == (
+            len(WORKLOADS) * len(HORIZONTAL_CONTROLLERS) * len(HORIZONTAL_SCENARIOS)
+        )
+        # Horizontal keys never collide with the base or fault families.
+        other = {c.key for c in scenario_matrix() + fault_matrix()}
+        assert not other & {c.key for c in cells}
+        for cell in cells:
+            cfg = cell.config
+            assert cfg.replicas == 1, cell.key
+            assert cfg.replica_capacity is not None and cfg.replica_capacity > 1
+            assert cfg.lb_policy == "round_robin"
+            assert cfg.faults is None
+            assert cfg.spike_magnitude is not None  # surge-shaped traffic
+
+    def test_horizontal_matrix_filtering_and_rejection(self):
+        cells = horizontal_matrix(workloads=["chain"], controllers=["hybrid"])
+        assert [c.key for c in cells] == ["chain/hybrid/replica-surge"]
+        with pytest.raises(KeyError):
+            horizontal_matrix(controllers=["surgeguard"])
+        with pytest.raises(KeyError):
+            horizontal_matrix(scenarios=["steady"])
+        with pytest.raises(KeyError):
+            horizontal_matrix(workloads=["nope"])
+
     def test_scenario_shapes(self):
         by_key = {c.key: c for c in scenario_matrix(workloads=["chain"])}
         steady = by_key["chain/null/steady"].config
@@ -90,7 +119,10 @@ class TestMatrixConstruction:
 class TestGoldenFile:
     def test_goldens_cover_the_full_matrix(self):
         goldens = load_goldens()
-        assert set(goldens) == {c.key for c in scenario_matrix() + fault_matrix()}
+        assert set(goldens) == {
+            c.key
+            for c in scenario_matrix() + fault_matrix() + horizontal_matrix()
+        }
 
     def test_fault_goldens_record_fault_activity(self):
         goldens = load_goldens()
@@ -108,6 +140,17 @@ class TestGoldenFile:
         for cell in scenario_matrix():
             assert "fault_stats" not in goldens[cell.key], cell.key
             assert "errors" not in goldens[cell.key], cell.key
+
+    def test_horizontal_goldens_record_replica_scaling(self):
+        goldens = load_goldens()
+        for cell in horizontal_matrix():
+            fp = goldens[cell.key]
+            # The autoscaler actually launched replicas inside the cell
+            # (otherwise the family pins nothing about the LB tier)...
+            assert fp["controller_actions"]["upscale_core"] > 0, cell.key
+            # ...and the launched replicas appear as live endpoints.
+            assert any("@" in name for name in fp["final_alloc"]), cell.key
+            assert "fault_stats" not in fp, cell.key
 
     def test_goldens_report_zero_paper_invariant_breaks(self):
         # Structural sanity of the committed file itself: counts are
@@ -151,6 +194,16 @@ class TestMatrixSlices:
     @pytest.mark.parametrize("family", sorted(WORKLOADS))
     def test_family_slice(self, family):
         report = run_matrix(scenario_matrix(workloads=[family]), verbose=False)
+        failing = [
+            (c.scenario.key, c.violations, c.diffs, c.golden_missing)
+            for c in report.outcomes
+            if not c.ok
+        ]
+        assert report.ok, failing
+        assert report.total_violations == 0
+
+    def test_horizontal_slice(self):
+        report = run_matrix(horizontal_matrix(), verbose=False)
         failing = [
             (c.scenario.key, c.violations, c.diffs, c.golden_missing)
             for c in report.outcomes

@@ -58,6 +58,7 @@ class TestHealthyRunsAreClean:
             "trace-causality",
             "escalator-sanity",
             "fault-resilience",
+            "replica-conservation",
         }
 
     def test_monitor_set_on_surgeguard_run(self, sim, make_cluster, small_app):
