@@ -13,6 +13,16 @@ This package holds the first two plus the shared interface, the
 do-nothing :class:`NullController` (static allocation), and the
 clairvoyant :class:`OracleController` used for the Fig. 4
 detection-delay study.
+
+Beyond the paper, the **controller zoo** (DESIGN.md §11) reproduces
+related-work baselines as plugins consuming the same runtime metrics:
+
+* **StatuScale** (Wen et al., arXiv:2407.10173) — status-aware load
+  detection on a sliding latency window driving a correction-factor
+  vertical scaler;
+* **LSRAM** (Hu et al., arXiv:2411.11493) — per-service SLO resource
+  allocation re-solved each cycle by projected gradient descent under
+  the node core budget.
 """
 
 from repro.controllers.base import Controller, ControllerStats
@@ -21,7 +31,9 @@ from repro.controllers.null import NullController
 from repro.controllers.oracle import OracleController
 from repro.controllers.parties import PartiesController, PartiesParams
 from repro.controllers.caladan import CaladanController, CaladanParams
+from repro.controllers.lsram import LsramController, LsramParams
 from repro.controllers.ml_central import CentralizedMLController, MLParams
+from repro.controllers.statuscale import StatuScaleController, StatuScaleParams
 from repro.controllers.horizontal import (
     HorizontalAutoscaler,
     HpaParams,
@@ -37,10 +49,14 @@ __all__ = [
     "HorizontalAutoscaler",
     "HpaParams",
     "HybridController",
+    "LsramController",
+    "LsramParams",
     "MLParams",
     "NullController",
     "OracleController",
     "PartiesController",
     "PartiesParams",
+    "StatuScaleController",
+    "StatuScaleParams",
     "TargetConfig",
 ]

@@ -105,7 +105,11 @@ class HorizontalAutoscaler(Controller):
         """busy-delta / capacity over one interval, summed over ``ready``.
 
         The per-replica busy baseline starts at first sight, so a replica
-        that just became READY contributes only its post-warm work.
+        that just became READY contributes only its post-warm work.  The
+        per-replica delta is clamped at >= 0: a container whose integral
+        went backwards relative to the baseline (crash/restart fault
+        plans reset runtime state mid-window) must read as idle, not as
+        negative work cancelling the other replicas' utilization.
         """
         busy = 0.0
         cores = 0.0
@@ -114,7 +118,7 @@ class HorizontalAutoscaler(Controller):
             c.sync()
             prev = self._last_busy.get(r.name, c.busy_core_seconds)
             self._last_busy[r.name] = c.busy_core_seconds
-            busy += c.busy_core_seconds - prev
+            busy += max(c.busy_core_seconds - prev, 0.0)
             cores += c.cores
         if cores <= 0:
             return 0.0
@@ -127,6 +131,17 @@ class HorizontalAutoscaler(Controller):
         cluster = self.cluster
         cluster.reap_draining()
         for service, rset in cluster.replica_sets.items():
+            # Evict busy baselines of replicas that left the READY set
+            # (draining, reaped, or crashed out).  A drained replica keeps
+            # accruing busy-seconds until it is reaped; comparing a later
+            # revival against the stale pre-drain baseline would charge
+            # all of that drain-time work to the revival's first interval
+            # and wildly inflate utilization.  Evicting here restarts the
+            # baseline at first sight after the replica becomes READY
+            # again, exactly like a brand-new replica.
+            for r in rset.replicas:
+                if r.state != READY:
+                    self._last_busy.pop(r.name, None)
             ready = [r for r in rset.replicas if r.state == READY]
             warming = any(r.state == WARMING for r in rset.replicas)
             util = self._utilization(ready)

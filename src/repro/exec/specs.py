@@ -24,9 +24,11 @@ from typing import Any, Callable, Dict, Tuple
 from repro.controllers.base import Controller
 from repro.controllers.caladan import CaladanController, CaladanParams
 from repro.controllers.horizontal import HorizontalAutoscaler, HpaParams
+from repro.controllers.lsram import LsramController, LsramParams
 from repro.controllers.ml_central import CentralizedMLController, MLParams
 from repro.controllers.null import NullController
 from repro.controllers.parties import PartiesController, PartiesParams
+from repro.controllers.statuscale import StatuScaleController, StatuScaleParams
 
 __all__ = ["ControllerSpec", "available_specs", "register_controller", "spec"]
 
@@ -116,6 +118,18 @@ def _build_hpa(**kw: Any) -> Controller:
     return HorizontalAutoscaler(HpaParams(**kw)) if kw else HorizontalAutoscaler()
 
 
+def _build_statuscale(**kw: Any) -> Controller:
+    return (
+        StatuScaleController(StatuScaleParams(**kw))
+        if kw
+        else StatuScaleController()
+    )
+
+
+def _build_lsram(**kw: Any) -> Controller:
+    return LsramController(LsramParams(**kw)) if kw else LsramController()
+
+
 def _build_hybrid(**kw: Any) -> Controller:
     """HPA + SurgeGuard side by side (§VII); kwargs tune the HPA half."""
     from repro.controllers.horizontal import HybridController
@@ -144,3 +158,5 @@ register_controller("hpa", _build_hpa)
 register_controller("hybrid", _build_hybrid)
 register_controller("surgeguard", _build_surgeguard)
 register_controller("escalator", _build_escalator)
+register_controller("statuscale", _build_statuscale)
+register_controller("lsram", _build_lsram)

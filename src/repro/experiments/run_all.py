@@ -134,6 +134,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "overheads": _driver("overheads", data_fn=None),
     "resilience": _driver("resilience", data_fn="run_resilience"),
     "horizontal": _driver("horizontal", data_fn="run_horizontal"),
+    "shootout": _driver("shootout", data_fn="run_shootout"),
 }
 
 

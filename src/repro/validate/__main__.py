@@ -21,9 +21,12 @@ from repro.validate.scenarios import (
     HORIZONTAL_SCENARIOS,
     SCENARIOS,
     WORKLOADS,
+    ZOO_CONTROLLERS,
+    ZOO_SCENARIOS,
     fault_matrix,
     horizontal_matrix,
     scenario_matrix,
+    zoo_matrix,
 )
 
 
@@ -41,12 +44,16 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     parser.add_argument(
         "--controller", action="append",
-        choices=CONTROLLERS + HORIZONTAL_CONTROLLERS,
+        choices=CONTROLLERS + HORIZONTAL_CONTROLLERS + ZOO_CONTROLLERS,
         help="restrict to a controller (repeatable)",
     )
     parser.add_argument(
         "--scenario", action="append",
-        choices=SCENARIOS + FAULT_SCENARIOS + HORIZONTAL_SCENARIOS,
+        choices=tuple(
+            dict.fromkeys(
+                SCENARIOS + FAULT_SCENARIOS + HORIZONTAL_SCENARIOS + ZOO_SCENARIOS
+            )
+        ),
         help="restrict to a traffic shape or fault scenario (repeatable)",
     )
     parser.add_argument(
@@ -62,20 +69,22 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    # The three families share the filter flags: each family keeps the
+    # The four families share the filter flags: each family keeps the
     # controller / scenario names it recognises (a fault-only filter
     # yields no base cells and vice versa), and fault cells exist only
     # for the chain workload and its controller subset.
-    base_shapes = fault_shapes = hpa_shapes = None
+    base_shapes = fault_shapes = hpa_shapes = zoo_shapes = None
     if args.scenario is not None:
         base_shapes = [s for s in args.scenario if s in SCENARIOS]
         fault_shapes = [s for s in args.scenario if s in FAULT_SCENARIOS]
         hpa_shapes = [s for s in args.scenario if s in HORIZONTAL_SCENARIOS]
-    base_ctrls = fault_ctrls = hpa_ctrls = None
+        zoo_shapes = [s for s in args.scenario if s in ZOO_SCENARIOS]
+    base_ctrls = fault_ctrls = hpa_ctrls = zoo_ctrls = None
     if args.controller is not None:
         base_ctrls = [c for c in args.controller if c in CONTROLLERS]
         fault_ctrls = [c for c in args.controller if c in FAULT_CONTROLLERS]
         hpa_ctrls = [c for c in args.controller if c in HORIZONTAL_CONTROLLERS]
+        zoo_ctrls = [c for c in args.controller if c in ZOO_CONTROLLERS]
     cells = scenario_matrix(
         workloads=args.workload,
         controllers=base_ctrls,
@@ -87,6 +96,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         workloads=args.workload,
         controllers=hpa_ctrls,
         scenarios=hpa_shapes,
+    )
+    cells += zoo_matrix(
+        workloads=args.workload,
+        controllers=zoo_ctrls,
+        scenarios=zoo_shapes,
     )
     if args.list:
         for cell in cells:

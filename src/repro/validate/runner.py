@@ -23,6 +23,7 @@ from repro.validate.scenarios import (
     fault_matrix,
     horizontal_matrix,
     scenario_matrix,
+    zoo_matrix,
 )
 
 __all__ = ["CellOutcome", "MatrixReport", "golden_path", "run_matrix"]
@@ -122,7 +123,9 @@ def run_matrix(
     rewritten — a filtered run updates a filtered set).
     """
     if cells is None:
-        cells = scenario_matrix() + fault_matrix() + horizontal_matrix()
+        cells = (
+            scenario_matrix() + fault_matrix() + horizontal_matrix() + zoo_matrix()
+        )
     goldens = load_goldens(golden_file)
     report = MatrixReport()
     # Profiling is memoized per workload — clear once up front so the

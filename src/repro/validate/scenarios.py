@@ -40,10 +40,13 @@ __all__ = [
     "HORIZONTAL_SCENARIOS",
     "SCENARIOS",
     "WORKLOADS",
+    "ZOO_CONTROLLERS",
+    "ZOO_SCENARIOS",
     "Scenario",
     "fault_matrix",
     "horizontal_matrix",
     "scenario_matrix",
+    "zoo_matrix",
 ]
 
 #: Matrix workloads: registry key per paper workload family.
@@ -260,6 +263,83 @@ def horizontal_matrix(
                         config=_horizontal_cell_config(
                             workload_key, controller, scenario
                         ),
+                    )
+                )
+    return cells
+
+
+#: Controller-zoo family: the related-work plugins of DESIGN.md §11.
+ZOO_CONTROLLERS: Tuple[str, ...] = ("statuscale", "lsram")
+
+#: Zoo scenarios: the vertical-scaling shapes plus the replica-armed
+#: surge, which exercises both plugins on ``svc@k`` replica endpoints
+#: (targets resolved through the replica fallback).
+ZOO_SCENARIOS: Tuple[str, ...] = ("steady", "spike", "replica-surge")
+
+
+def _zoo_cell_config(workload_key: str, controller: str, scenario: str) -> ExperimentConfig:
+    cfg = ExperimentConfig(
+        workload=workload_key,
+        controller_factory=spec(controller),
+        spike_magnitude=None,
+        **_BASE,
+    )
+    if scenario == "steady":
+        return cfg
+    if scenario == "spike":
+        return replace(cfg, **_SPIKE)
+    if scenario == "replica-surge":
+        # Static 2-replica deployment behind the LB (no horizontal
+        # controller): the zoo plugin sizes each replica endpoint
+        # vertically while the surge runs.
+        return replace(
+            cfg,
+            replicas=2,
+            lb_policy="round_robin",
+            replica_capacity=2,
+            **_SPIKE,
+        )
+    raise ValueError(f"unknown zoo scenario {scenario!r}")
+
+
+def zoo_matrix(
+    *,
+    workloads: Optional[List[str]] = None,
+    controllers: Optional[List[str]] = None,
+    scenarios: Optional[List[str]] = None,
+) -> List[Scenario]:
+    """The controller-zoo cells: every workload family × {statuscale,
+    lsram} × {steady, spike, replica-surge}."""
+    families = list(WORKLOADS) if workloads is None else workloads
+    ctrls = list(ZOO_CONTROLLERS) if controllers is None else controllers
+    shapes = list(ZOO_SCENARIOS) if scenarios is None else scenarios
+    cells = []
+    for family in families:
+        try:
+            workload_key = WORKLOADS[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload family {family!r}; known: {sorted(WORKLOADS)}"
+            ) from None
+        for controller in ctrls:
+            if controller not in ZOO_CONTROLLERS:
+                raise KeyError(
+                    f"unknown zoo controller {controller!r}; "
+                    f"known: {list(ZOO_CONTROLLERS)}"
+                )
+            for scenario in shapes:
+                if scenario not in ZOO_SCENARIOS:
+                    raise KeyError(
+                        f"unknown zoo scenario {scenario!r}; "
+                        f"known: {list(ZOO_SCENARIOS)}"
+                    )
+                cells.append(
+                    Scenario(
+                        workload_family=family,
+                        workload_key=workload_key,
+                        controller=controller,
+                        scenario=scenario,
+                        config=_zoo_cell_config(workload_key, controller, scenario),
                     )
                 )
     return cells

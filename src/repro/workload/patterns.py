@@ -84,7 +84,13 @@ def diurnal(
     rates = mean_rate * (1.0 + amplitude * np.sin(2 * math.pi * t / period))
     if noise > 0 and rng is not None:
         rates = rates * (1.0 + noise * (rng.random(buckets) - 0.5))
-    return from_samples(rates, bucket=duration / buckets)
+    # from_samples takes the *final* sample as the schedule's steady
+    # base, so the sinusoid must end on an explicit mean-rate tail —
+    # otherwise the post-window rate freezes at whatever phase the last
+    # bucket sampled (e.g. ~89.6 req/s for mean 100, period 10, duration
+    # 20), exactly like flash_crowd's appended steady tail.
+    samples = np.append(rates, mean_rate)
+    return from_samples(samples, bucket=duration / buckets)
 
 
 def flash_crowd(

@@ -80,6 +80,43 @@ class TestSpecPickling:
         assert isinstance(clone.controller_factory(), PartiesController)
 
 
+class TestZooSpecs:
+    """The PR-9 plugin controllers ride the same spec machinery."""
+
+    def test_zoo_names_present(self):
+        names = available_specs()
+        assert "statuscale" in names
+        assert "lsram" in names
+
+    def test_statuscale_params_route(self):
+        from repro.controllers.statuscale import StatuScaleController
+
+        ctrl = spec("statuscale", interval=0.1, headroom=1.5)()
+        assert isinstance(ctrl, StatuScaleController)
+        assert ctrl.params.interval == 0.1
+        assert ctrl.params.headroom == 1.5
+
+    def test_lsram_params_route(self):
+        from repro.controllers.lsram import LsramController
+
+        ctrl = spec("lsram", interval=0.1, demand_margin=1.2)()
+        assert isinstance(ctrl, LsramController)
+        assert ctrl.params.interval == 0.1
+        assert ctrl.params.demand_margin == 1.2
+
+    def test_zoo_specs_pickle_roundtrip(self):
+        for name in ("statuscale", "lsram"):
+            s = spec(name, interval=0.2)
+            clone = pickle.loads(pickle.dumps(s))
+            assert clone == s
+            assert clone().params.interval == 0.2
+
+    def test_bad_zoo_param_raises_at_build(self):
+        s = spec("lsram", not_a_knob=3)
+        with pytest.raises(TypeError):
+            s()
+
+
 class TestRegistry:
     def test_conflicting_reregistration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):

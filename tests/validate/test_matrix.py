@@ -22,9 +22,12 @@ from repro.validate.scenarios import (
     HORIZONTAL_SCENARIOS,
     SCENARIOS,
     WORKLOADS,
+    ZOO_CONTROLLERS,
+    ZOO_SCENARIOS,
     fault_matrix,
     horizontal_matrix,
     scenario_matrix,
+    zoo_matrix,
 )
 
 
@@ -103,6 +106,44 @@ class TestMatrixConstruction:
         with pytest.raises(KeyError):
             horizontal_matrix(workloads=["nope"])
 
+    def test_zoo_matrix_shape(self):
+        cells = zoo_matrix()
+        assert len(cells) == (
+            len(WORKLOADS) * len(ZOO_CONTROLLERS) * len(ZOO_SCENARIOS)
+        )
+        # Zoo keys never collide with the other families.
+        other = {
+            c.key
+            for c in scenario_matrix() + fault_matrix() + horizontal_matrix()
+        }
+        assert not other & {c.key for c in cells}
+        for cell in cells:
+            cfg = cell.config
+            assert cfg.faults is None, cell.key
+            if cell.scenario == "steady":
+                assert cfg.spike_magnitude is None, cell.key
+            else:
+                assert cfg.spike_magnitude is not None, cell.key
+            if cell.scenario == "replica-surge":
+                assert cfg.replicas == 2, cell.key
+                assert cfg.lb_policy == "round_robin", cell.key
+            else:
+                assert cfg.replicas is None, cell.key
+
+    def test_zoo_matrix_filtering_and_rejection(self):
+        cells = zoo_matrix(workloads=["chain"], controllers=["statuscale"])
+        assert [c.key for c in cells] == [
+            "chain/statuscale/steady",
+            "chain/statuscale/spike",
+            "chain/statuscale/replica-surge",
+        ]
+        with pytest.raises(KeyError):
+            zoo_matrix(controllers=["surgeguard"])
+        with pytest.raises(KeyError):
+            zoo_matrix(scenarios=["rate-spike"])
+        with pytest.raises(KeyError):
+            zoo_matrix(workloads=["nope"])
+
     def test_scenario_shapes(self):
         by_key = {c.key: c for c in scenario_matrix(workloads=["chain"])}
         steady = by_key["chain/null/steady"].config
@@ -121,7 +162,10 @@ class TestGoldenFile:
         goldens = load_goldens()
         assert set(goldens) == {
             c.key
-            for c in scenario_matrix() + fault_matrix() + horizontal_matrix()
+            for c in scenario_matrix()
+            + fault_matrix()
+            + horizontal_matrix()
+            + zoo_matrix()
         }
 
     def test_fault_goldens_record_fault_activity(self):
@@ -151,6 +195,16 @@ class TestGoldenFile:
             # ...and the launched replicas appear as live endpoints.
             assert any("@" in name for name in fp["final_alloc"]), cell.key
             assert "fault_stats" not in fp, cell.key
+
+    def test_zoo_goldens_record_controller_activity(self):
+        goldens = load_goldens()
+        for cell in zoo_matrix():
+            fp = goldens[cell.key]
+            assert "fault_stats" not in fp, cell.key
+            if cell.scenario != "steady":
+                # Both plugins act on surge-shaped traffic in-cell —
+                # otherwise the family pins nothing about the plugins.
+                assert fp["controller_actions"]["upscale_core"] > 0, cell.key
 
     def test_goldens_report_zero_paper_invariant_breaks(self):
         # Structural sanity of the committed file itself: counts are
@@ -204,6 +258,16 @@ class TestMatrixSlices:
 
     def test_horizontal_slice(self):
         report = run_matrix(horizontal_matrix(), verbose=False)
+        failing = [
+            (c.scenario.key, c.violations, c.diffs, c.golden_missing)
+            for c in report.outcomes
+            if not c.ok
+        ]
+        assert report.ok, failing
+        assert report.total_violations == 0
+
+    def test_zoo_slice(self):
+        report = run_matrix(zoo_matrix(), verbose=False)
         failing = [
             (c.scenario.key, c.violations, c.diffs, c.golden_missing)
             for c in report.outcomes

@@ -47,6 +47,33 @@ class TestDiurnal:
             diurnal(mean_rate=10.0, amplitude=1.5)
 
 
+class TestSteadyTails:
+    """Regression pins for the post-window steady rate of every builder.
+
+    ``from_samples`` freezes the *final* sample as the schedule's base,
+    so each builder must end on an explicit tail sample.  ``diurnal``
+    used to omit it and froze at whatever phase the last bucket hit
+    (~89.6 req/s for mean 100, period 10, duration 20)."""
+
+    def test_diurnal_tail_is_the_mean_rate(self):
+        s = diurnal(mean_rate=100.0, amplitude=0.4, period=10.0, duration=20.0)
+        assert s.rate_at(20.5) == 100.0
+        assert s.rate_at(1e6) == 100.0
+
+    def test_diurnal_tail_survives_noise(self):
+        rng = np.random.default_rng(7)
+        s = diurnal(mean_rate=50.0, noise=0.2, rng=rng, duration=12.0)
+        assert s.rate_at(1e6) == 50.0
+
+    def test_flash_crowd_tail_is_the_base_rate(self):
+        s = flash_crowd(base_rate=80.0, peak_multiplier=3.0, onset=2.0)
+        assert s.rate_at(1e6) == 80.0
+
+    def test_ramp_tail_is_the_end_rate(self):
+        s = ramp(start_rate=10.0, end_rate=90.0, t0=1.0, length=5.0)
+        assert s.rate_at(1e6) == 90.0
+
+
 class TestFlashCrowd:
     def test_shape(self):
         s = flash_crowd(base_rate=100.0, peak_multiplier=3.0, onset=5.0)
