@@ -16,6 +16,7 @@ class NullController(Controller):
     """Does nothing; allocations stay at their initial values."""
 
     name = "static"
+    shardable = True  # schedules nothing, touches nothing
 
     def _on_start(self) -> None:  # noqa: D102 - nothing to schedule
         pass

@@ -1,7 +1,7 @@
 """Machine-tracked performance benchmark → ``BENCH_exec.json``.
 
-Eight measurements, deliberately simple so their trajectory is
-comparable across PRs (report ``schema: 5``):
+Nine measurements, deliberately simple so their trajectory is
+comparable across PRs (report ``schema: 6``):
 
 * **engine** — raw event-loop throughput (events/second) on a synthetic
   workload of self-rescheduling timers plus cancel churn, exercising the
@@ -35,9 +35,25 @@ comparable across PRs (report ``schema: 5``):
   steady-state *object churn per 100k packets* — fresh ``RpcPacket`` +
   ``EventHandle`` constructions counted by the pools themselves, so the
   number is deterministic (no timing noise) and CI-gateable;
+* **sharded** (schema 6) — the partitioned-simulation headline: one
+  large multi-node cell (a 16-stage pipeline on 8 nodes) run serially
+  and again split across 4 shards (:mod:`repro.exec.sharded`), reported
+  as ``sharded_speedup`` with an explicit ``speedup_basis``.  On hosts
+  with at least as many CPUs as shards the basis is ``wall`` (real
+  processes, wall-clock ratio); on smaller hosts real parallel wall
+  time is unmeasurable, so the basis is ``critical_path`` — the
+  per-barrier-window CPU maxima summed over the run (the lockstep
+  in-process driver), i.e. the time an adequately-provisioned host
+  would take — divided into the serial CPU time;
 * **cell** — wall-clock seconds for one standard experiment cell
   (CHAIN × 1.75× surges × SurgeGuard), i.e. the unit of work the
   repetition protocol fans out.
+
+Throughput rows accept ``--best-of N``: single-shot rates on a shared
+host swing ±25% run-to-run (the schema-3 → schema-5 engine-row "drop"
+from ~185k to ~127k ev/s reproduces as exactly this noise on identical
+code), so the committed report takes the best of a few repeats and
+records the repeat count alongside the rate.
 
 Run ``python -m repro.exec.bench`` from the repo root; it writes
 ``BENCH_exec.json`` there (override with ``--out``).  Pass ``--append``
@@ -73,6 +89,7 @@ __all__ = [
     "bench_lb_dispatch",
     "bench_memory",
     "bench_packet_path",
+    "bench_sharded",
     "bench_users",
     "main",
     "run_benchmarks",
@@ -99,9 +116,10 @@ DEFAULT_ARRIVALS = 200_000
 DEFAULT_USERS = 20_000
 
 #: Conservative floor asserted by the CI smoke test (events/second).
-#: Raised from 25k with the calendar-queue scheduler (the legacy heap
-#: row sustains >100k on an idle dev core; slow CI runners keep margin).
-ENGINE_FLOOR_EPS = 40_000.0
+#: Tightened from 40k after the PR-10 variance audit: same-code
+#: single-shot rates on the dev host span 127k–171k ev/s, so even the
+#: noisiest observation keeps >2× headroom over this floor.
+ENGINE_FLOOR_EPS = 60_000.0
 
 #: Floor on the calendar/heap speedup at the highest density regime.
 #: The committed report shows ≥1.5× on an idle core; the CI floor backs
@@ -114,10 +132,23 @@ CALENDAR_SPEEDUP_FLOOR = 1.2
 USERS_FLOOR_UPS = 2_000.0
 
 #: Conservative packets/second floor for the packet-path smoke test.
-#: Raised from 15k with the allocation-slim path (which sustains ~350k
-#: on an idle dev core; slow CI runners keep an order-of-magnitude
-#: margin).
-PACKET_FLOOR_PPS = 25_000.0
+#: Tightened from 25k in the PR-10 variance audit (same-code runs span
+#: ~197k–292k pkt/s on the dev host; the floor keeps ~5× headroom under
+#: the worst observation).
+PACKET_FLOOR_PPS = 40_000.0
+
+#: Floor on the sharded-simulation speedup (4 shards, 8-node cell).
+#: The committed report shows >=2.0x; the CI floor backs off for
+#: shared-runner noise while still requiring that partitioning *wins*.
+SHARDED_SPEEDUP_FLOOR = 1.5
+
+#: Sharded-bench cell shape: stages of the pipeline app, nodes, shards.
+SHARDED_STAGES = 16
+SHARDED_NODES = 8
+SHARDED_SHARDS = 4
+
+#: Default measurement duration (simulated seconds) of the sharded row.
+DEFAULT_SHARDED_DURATION = 2.0
 
 #: Default routing decisions per policy for the lb_dispatch measurement.
 DEFAULT_LB_DISPATCHES = 200_000
@@ -143,39 +174,54 @@ CHURN_CEILING_PER_100K = 2_000.0
 GC_GEN2_CEILING = 2
 
 
-def bench_engine(n_events: int = DEFAULT_EVENTS, fanout: int = 64) -> dict:
+def bench_engine(
+    n_events: int = DEFAULT_EVENTS, fanout: int = 64, best_of: int = 1
+) -> dict:
     """Measure event-loop throughput on a synthetic timer workload.
 
     ``fanout`` timers each reschedule themselves on a fixed small delay;
     every firing also schedules a decoy event and cancels the previous
     decoy, so roughly half of all heap entries are lazily cancelled —
     the same churn profile ``Container`` rescheduling produces.
+
+    ``best_of`` repeats the measurement and keeps the fastest run:
+    single-shot rates on a shared host swing ±25%, and the *best* run is
+    the one least polluted by other tenants, i.e. closest to the code's
+    actual cost.
     """
     if n_events < 1:
         raise ValueError("n_events must be >= 1")
-    sim = Simulator()
-    decoys = [None] * fanout
+    if best_of < 1:
+        raise ValueError("best_of must be >= 1")
+    best = None
+    for _ in range(best_of):
+        sim = Simulator()
+        decoys = [None] * fanout
 
-    def tick(slot: int, delay: float) -> None:
-        old = decoys[slot]
-        if old is not None:
-            old.cancel()
-        decoys[slot] = sim.schedule(delay * 7.0, _noop)
-        sim.schedule(delay, tick, slot, delay)
+        def tick(slot: int, delay: float) -> None:
+            old = decoys[slot]
+            if old is not None:
+                old.cancel()
+            decoys[slot] = sim.schedule(delay * 7.0, _noop)
+            sim.schedule(delay, tick, slot, delay)
 
-    for i in range(fanout):
-        sim.schedule(0.0, tick, i, 1e-4 * (1 + i % 7))
+        for i in range(fanout):
+            sim.schedule(0.0, tick, i, 1e-4 * (1 + i % 7))
 
-    t0 = time.perf_counter()
-    sim.run(max_events=n_events)
-    dt = time.perf_counter() - t0
-    fired = sim.events_fired
-    return {
-        "events": fired,
-        "seconds": dt,
-        "events_per_sec": fired / dt if dt > 0 else float("inf"),
-        "pending_at_end": sim.events_pending,
-    }
+        t0 = time.perf_counter()
+        sim.run(max_events=n_events)
+        dt = time.perf_counter() - t0
+        fired = sim.events_fired
+        row = {
+            "events": fired,
+            "seconds": dt,
+            "events_per_sec": fired / dt if dt > 0 else float("inf"),
+            "pending_at_end": sim.events_pending,
+            "repeats": best_of,
+        }
+        if best is None or row["events_per_sec"] > best["events_per_sec"]:
+            best = row
+    return best
 
 
 def _noop() -> None:
@@ -468,20 +514,32 @@ class _PacketRig:
         }
 
 
-def bench_packet_path(n_packets: int = DEFAULT_PACKETS) -> dict:
-    """Measure packets/second through ``Network.send`` → ``_deliver``."""
+def bench_packet_path(n_packets: int = DEFAULT_PACKETS, best_of: int = 1) -> dict:
+    """Measure packets/second through ``Network.send`` → ``_deliver``.
+
+    ``best_of`` keeps the fastest of N fresh-rig repeats (see
+    :func:`bench_engine` for the rationale).
+    """
     if n_packets < 1:
         raise ValueError("n_packets must be >= 1")
-    rig = _PacketRig()
-    t0 = time.perf_counter()
-    rig.pump(n_packets)
-    dt = time.perf_counter() - t0
-    return {
-        "packets": rig.delivered,
-        "seconds": dt,
-        "packets_per_sec": rig.delivered / dt if dt > 0 else float("inf"),
-        "hook_inspected": rig.responder.packets_inspected,
-    }
+    if best_of < 1:
+        raise ValueError("best_of must be >= 1")
+    best = None
+    for _ in range(best_of):
+        rig = _PacketRig()
+        t0 = time.perf_counter()
+        rig.pump(n_packets)
+        dt = time.perf_counter() - t0
+        row = {
+            "packets": rig.delivered,
+            "seconds": dt,
+            "packets_per_sec": rig.delivered / dt if dt > 0 else float("inf"),
+            "hook_inspected": rig.responder.packets_inspected,
+            "repeats": best_of,
+        }
+        if best is None or row["packets_per_sec"] > best["packets_per_sec"]:
+            best = row
+    return best
 
 
 #: Packets pumped before the measured segment of a memory run, so pool
@@ -595,6 +653,130 @@ def bench_lb_dispatch(n_dispatches: int = DEFAULT_LB_DISPATCHES) -> dict:
     }
 
 
+def _pipeline_app(stages: int = SHARDED_STAGES, work_cycles: float = 1.2e6):
+    """A ``stages``-deep CHAIN-style pipeline that fills a wide cluster.
+
+    Round-robin placement puts consecutive stages on consecutive nodes,
+    so an 8-node cluster gets two stages per node and every shard of a
+    4-way split carries an equal slice of the pipeline — the load
+    balance the speedup measurement needs (the stock 5-stage CHAIN
+    leaves three of eight nodes idle).
+    """
+    from repro.services.taskgraph import AppSpec, EdgeSpec, ServiceSpec, WorkDist
+
+    names = [f"stage{i + 1}" for i in range(stages)]
+    services = []
+    for i, name in enumerate(names):
+        children = (EdgeSpec(names[i + 1], 512),) if i + 1 < stages else ()
+        services.append(
+            ServiceSpec(
+                name=name,
+                pre_work=WorkDist(work_cycles),
+                children=children,
+                initial_cores=2.0,
+            )
+        )
+    return AppSpec(
+        name=f"PIPE{stages}",
+        action="pipe",
+        services=tuple(services),
+        root=names[0],
+        qos_target=50e-3,
+        description=f"{stages}-stage pipeline for the sharded benchmark",
+    )
+
+
+def bench_sharded(
+    duration: float = DEFAULT_SHARDED_DURATION,
+    *,
+    n_nodes: int = SHARDED_NODES,
+    shards: int = SHARDED_SHARDS,
+) -> dict:
+    """Serial vs sharded execution of one large multi-node cell.
+
+    The cell is a 16-stage pipeline across ``n_nodes`` nodes under
+    SurgeGuard on a 200 µs inter-node fabric (a coarser lookahead than
+    the 20 µs default, so each conservative-sync window carries enough
+    events to amortize the barrier).  ``speedup_basis`` records how the
+    ratio was formed:
+
+    * ``wall`` — the host has >= ``shards`` CPUs: real worker processes,
+      wall-clock over wall-clock;
+    * ``critical_path`` — fewer CPUs than shards (parallel wall time is
+      unmeasurable): the lockstep in-process driver, serial CPU time
+      over the summed per-window CPU maxima (the time the barrier
+      protocol would take with one real CPU per shard).
+    """
+    from repro.cluster.network import NetworkConfig
+    from repro.exec.sharded import run_sharded
+    from repro.exec.specs import spec
+    from repro.experiments.harness import (
+        ExperimentConfig,
+        clear_profile_cache,
+        profile_targets,
+        run_experiment,
+    )
+
+    if duration <= 0:
+        raise ValueError("duration must be > 0")
+    cfg = ExperimentConfig(
+        workload="chain",
+        app=_pipeline_app(),
+        base_rate=2000.0,
+        controller_factory=spec("surgeguard"),
+        spike_magnitude=None,
+        n_nodes=n_nodes,
+        duration=duration,
+        warmup=0.5,
+        profile_duration=0.5,
+        drain=0.5,
+        seed=1,
+        network=NetworkConfig(inter_node_latency=200e-6),
+    )
+    clear_profile_cache()
+    targets = profile_targets(cfg)
+
+    w0 = time.perf_counter()
+    c0 = time.process_time_ns()
+    serial = run_experiment(cfg, targets)
+    serial_cpu = (time.process_time_ns() - c0) / 1e9
+    serial_wall = time.perf_counter() - w0
+
+    cpus = os.cpu_count() or 1
+    basis = "wall" if cpus >= shards else "critical_path"
+    w0 = time.perf_counter()
+    sharded = run_sharded(
+        cfg, targets, shards=shards, inline=(basis == "critical_path")
+    )
+    sharded_wall = time.perf_counter() - w0
+    ss = sharded.shard_stats
+    crit = ss["critical_path_ns"] / 1e9
+    if basis == "wall":
+        speedup = serial_wall / sharded_wall if sharded_wall > 0 else float("inf")
+    else:
+        speedup = serial_cpu / crit if crit > 0 else float("inf")
+    if sharded.summary.count != serial.summary.count:  # pragma: no cover
+        raise AssertionError(
+            "sharded cell completed a different request count than serial"
+        )
+    return {
+        "n_nodes": n_nodes,
+        "shards": shards,
+        "stages": SHARDED_STAGES,
+        "duration": duration,
+        "requests": serial.summary.count,
+        "serial_wall_seconds": serial_wall,
+        "serial_cpu_seconds": serial_cpu,
+        "sharded_wall_seconds": sharded_wall,
+        "critical_path_seconds": crit,
+        "per_shard_cpu_seconds": [c / 1e9 for c in ss["cpu_ns"]],
+        "rounds": ss["rounds"],
+        "conservation_ok": ss["conservation_ok"],
+        "speedup_basis": basis,
+        "sharded_speedup": speedup,
+    }
+
+
 def bench_cell(
     *, reps: int = 1, jobs: int = 1, workload: str = "chain"
 ) -> dict:
@@ -637,27 +819,32 @@ def run_benchmarks(
     n_arrivals: int = DEFAULT_ARRIVALS,
     n_users: int = DEFAULT_USERS,
     n_lb_dispatches: int = DEFAULT_LB_DISPATCHES,
+    sharded_duration: float = DEFAULT_SHARDED_DURATION,
+    best_of: int = 1,
     reps: int = 1,
     jobs: int = 1,
     skip_cell: bool = False,
     skip_memory: bool = False,
+    skip_sharded: bool = False,
 ) -> dict:
-    """Run all measurements and return the report dict (schema 5)."""
+    """Run all measurements and return the report dict (schema 6)."""
     report = {
-        "schema": 5,
+        "schema": 6,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "machine": {
             "cpu_count": os.cpu_count(),
             "platform": platform.platform(),
             "python": sys.version.split()[0],
         },
-        "engine": bench_engine(n_events),
+        "engine": bench_engine(n_events, best_of=best_of),
         "engine_density": bench_engine_density(n_density_events),
         "arrival_gen": bench_arrival_gen(n_arrivals),
         "users": bench_users(n_users),
-        "packet_path": bench_packet_path(n_packets),
+        "packet_path": bench_packet_path(n_packets, best_of=best_of),
         "lb_dispatch": bench_lb_dispatch(n_lb_dispatches),
     }
+    if not skip_sharded:
+        report["sharded"] = bench_sharded(sharded_duration)
     if not skip_memory:
         report["memory"] = bench_memory(n_packets)
     if not skip_cell:
@@ -684,6 +871,10 @@ def _history_entry(report: dict) -> dict:
     lb = report.get("lb_dispatch")
     if lb:
         entry["lb_min_dispatches_per_sec"] = lb.get("min_dispatches_per_sec")
+    sharded = report.get("sharded")
+    if sharded:
+        entry["sharded_speedup"] = sharded.get("sharded_speedup")
+        entry["sharded_speedup_basis"] = sharded.get("speedup_basis")
     cell = report.get("cell")
     if cell:
         entry["cell_seconds_per_rep"] = cell.get("seconds_per_rep")
@@ -754,6 +945,16 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
              f"(default {DEFAULT_LB_DISPATCHES})",
     )
     parser.add_argument(
+        "--sharded-duration", type=float, default=DEFAULT_SHARDED_DURATION,
+        help="measured simulated seconds of the sharded cell "
+             f"(default {DEFAULT_SHARDED_DURATION})",
+    )
+    parser.add_argument(
+        "--best-of", type=int, default=1,
+        help="repeats per throughput row, fastest kept (default 1; the "
+             "committed report uses 3 to suppress shared-host noise)",
+    )
+    parser.add_argument(
         "--reps", type=int, default=1, help="cell repetitions (default 1)"
     )
     parser.add_argument(
@@ -766,6 +967,10 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     parser.add_argument(
         "--skip-memory", action="store_true",
         help="skip the allocation/GC profile (schema-3 memory section)",
+    )
+    parser.add_argument(
+        "--skip-sharded", action="store_true",
+        help="skip the serial-vs-sharded cell (schema-6 sharded section)",
     )
     parser.add_argument(
         "--append", action="store_true",
@@ -785,10 +990,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         n_arrivals=args.arrivals,
         n_users=args.users,
         n_lb_dispatches=args.lb_dispatches,
+        sharded_duration=args.sharded_duration,
+        best_of=args.best_of,
         reps=args.reps,
         jobs=args.jobs,
         skip_cell=args.skip_cell,
         skip_memory=args.skip_memory,
+        skip_sharded=args.skip_sharded,
     )
     if args.append:
         append_history(report, args.out)
@@ -821,6 +1029,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         for name, row in lb["policies"].items()
     )
     print(f"lb:     {lb_parts} (min {lb['min_dispatches_per_sec']:,.0f}/s)")
+    sharded = report.get("sharded")
+    if sharded:
+        print(f"sharded: {sharded['n_nodes']} nodes / {sharded['shards']} shards "
+              f"→ {sharded['sharded_speedup']:.2f}x "
+              f"({sharded['speedup_basis']} basis, "
+              f"{sharded['rounds']} sync rounds, "
+              f"conservation={'ok' if sharded['conservation_ok'] else 'VIOLATED'})")
     memory = report.get("memory")
     if memory:
         pooled, unpooled = memory["pooled"], memory["unpooled"]

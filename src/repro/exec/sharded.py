@@ -1,0 +1,679 @@
+"""Sharded shared-nothing execution of one experiment (DESIGN.md §12).
+
+:func:`run_sharded` partitions an experiment's cluster across K event
+loops — worker processes connected by pipes, with the parent process
+acting as shard 0 — and runs them under the conservative-sync barrier
+protocol defined in :mod:`repro.sim.shard`:
+
+* **Partitioning** — nodes split into contiguous balanced blocks
+  (:func:`~repro.cluster.placement.node_shard_map`); shard 0 also hosts
+  the external client (the workload generator) and therefore the
+  measured latency stream.  Every shard builds the *full* cluster
+  identically — same endpoint registry, placement, and RNG-stream
+  creation order — then restricts itself to its local nodes; remote
+  containers exist only as idle routing stubs whose accounting is never
+  merged.
+* **Controllers** — each shard instantiates the controller and attaches
+  it to its restricted ``node_views``, so per-node daemons (SurgeGuard's
+  Escalator/FirstResponder pairs) exist exactly once fleet-wide.  Only
+  controllers that declare ``shardable = True`` are accepted.
+* **Barriers** — each round every shard exchanges
+  ``(round, promise, wire batch, cpu_ns)`` with every peer, absorbs the
+  inbound packets, and advances to the identically-computed
+  ``min(promises) + lookahead``.  Two extra flush rounds at the end
+  balance the boundary ledger (late packets are scheduled like serial's
+  never-fired pending events) and fire deliveries landing exactly on
+  the final horizon.
+* **Merging** — shard 0 assembles a normal
+  :class:`~repro.experiments.harness.ExperimentResult`; fleet-merged
+  counters land in ``result.shard_stats`` for the fingerprint layer,
+  and the boundary ledger is audited by
+  :class:`~repro.validate.monitors.ShardConservationMonitor`.
+
+``run_sharded(..., inline=True)`` runs all K shards lockstep in one
+process — same protocol, wire batches still round-tripped through
+pickle — for property tests and single-CPU environments.
+
+Determinism contract: results are a pure function of (config, seed,
+shard count).  ``shards=1`` is a bit-identical pass-through
+(:func:`arm_passthrough`); ``K >= 2`` may differ from serial only
+through jitter-draw interleaving, so a ``jitter=0`` fabric is
+shard-count-invariant (the ``sharded`` validate family pins this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+import traceback
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.placement import node_shard_map
+from repro.controllers.base import ControllerStats
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    _build_cluster,
+)
+from repro.metrics.summary import summarize
+from repro.sim.rng import RngRegistry
+from repro.sim.shard import (
+    ShardConfigError,
+    ShardContext,
+    next_barrier,
+    shards_from_env,
+)
+from repro.workload.arrivals import RateSchedule
+from repro.workload.generator import OpenLoopClient
+
+__all__ = [
+    "ShardRunner",
+    "arm_passthrough",
+    "resolve_shards",
+    "run_sharded",
+]
+
+
+def resolve_shards(cfg: ExperimentConfig) -> Optional[int]:
+    """Effective shard count: config field, else ``REPRO_SHARDS``."""
+    return cfg.shards if cfg.shards is not None else shards_from_env()
+
+
+def arm_passthrough(cluster) -> ShardContext:
+    """Arm the shard boundary with everything local (``shards=1``).
+
+    The remote set is empty, so every send still takes the legacy
+    scheduling path, no extra RNG draw or counter change happens, and
+    the run is bit-identical to an unarmed one — while still exercising
+    the armed membership check the K >= 2 path relies on.
+    """
+    ctx = ShardContext(0, 1, cluster.config.network.inter_node_latency)
+    owner = {None: 0}
+    for node in cluster.nodes:
+        owner[node] = 0
+    ctx.bind(owner)
+    cluster.network.arm_shard(ctx)
+    return ctx
+
+
+def _check_sharded_config(cfg: ExperimentConfig, shards: int) -> None:
+    if cfg.replicas is not None:
+        raise ShardConfigError(
+            "sharded runs do not support the replica/LB tier yet "
+            "(replicas must be None)"
+        )
+    if cfg.faults is not None and not cfg.faults.empty:
+        raise ShardConfigError("sharded runs do not support fault injection")
+    if shards > cfg.n_nodes:
+        raise ShardConfigError(
+            f"cannot split {cfg.n_nodes} node(s) across {shards} shards"
+        )
+    probe = cfg.controller_factory()
+    if not probe.shardable:
+        raise ShardConfigError(
+            f"controller {probe.name!r} is not shardable (requires "
+            f"strictly per-node state reached via cluster.node_views)"
+        )
+
+
+class ShardRunner:
+    """One shard's event loop plus its boundary bookkeeping.
+
+    Mirrors :func:`~repro.experiments.harness.run_experiment`'s setup
+    sequence exactly (same construction order, same schedule-at calls),
+    restricted to this shard's role: the client exists only on shard 0,
+    the controller attaches to the local node views, and the
+    measurement snapshot runs locally at the measurement boundary.
+    """
+
+    def __init__(
+        self,
+        cfg: ExperimentConfig,
+        targets,
+        shard_id: int,
+        shards: int,
+        *,
+        monitors=None,
+    ):
+        self.cfg = cfg
+        self.targets = targets
+        self.shard_id = shard_id
+        self.n_shards = shards
+
+        app = cfg.resolved_app()
+        sim, cluster = _build_cluster(
+            cfg, app, seed=cfg.seed, record=cfg.record_timelines, replicated=True
+        )
+        self.sim = sim
+        self.cluster = cluster
+        self.lookahead = cluster.config.network.inter_node_latency
+
+        shard_of = node_shard_map(cfg.n_nodes, shards)
+        owner = {None: 0}  # the external client endpoint lives on shard 0
+        for i, node in enumerate(cluster.nodes):
+            owner[node] = shard_of[i]
+        ctx = ShardContext(shard_id, shards, self.lookahead)
+        ctx.bind(owner)
+        cluster.network.arm_shard(ctx)
+        cluster.set_local_nodes([i for i, s in shard_of.items() if s == shard_id])
+        self.ctx = ctx
+
+        for surge_start, surge_end, surge_extra in cfg.latency_surges:
+            cluster.network.add_latency_surge(surge_start, surge_end, surge_extra)
+
+        self.t_measure = cfg.warmup
+        t_end = cfg.warmup + cfg.duration
+        self.t_final = t_end + cfg.drain
+
+        self.client = None
+        if shard_id == 0:
+            base_rate = cfg.resolved_rate()
+            if cfg.spike_magnitude is not None:
+                schedule = RateSchedule.periodic(
+                    base_rate,
+                    magnitude=cfg.spike_magnitude,
+                    spike_len=cfg.spike_len,
+                    period=cfg.spike_period,
+                    first=self.t_measure + cfg.spike_offset,
+                    until=t_end,
+                )
+            else:
+                schedule = RateSchedule(base_rate)
+            rng = RngRegistry(cfg.seed + 7919)
+            self.client = OpenLoopClient(
+                sim,
+                cluster,
+                schedule,
+                duration=t_end,
+                pacing=cfg.pacing,
+                rng=rng.stream("client") if cfg.pacing == "poisson" else None,
+            )
+
+        controller = cfg.controller_factory()
+        if shards > 1 and not controller.shardable:
+            raise ShardConfigError(
+                f"controller {controller.name!r} is not shardable"
+            )
+        controller.attach(sim, cluster, targets)
+        self.controller = controller
+
+        self.snap: Dict[str, Tuple[float, float]] = {}
+
+        def take_snapshot() -> None:
+            cluster.sync_all()
+            for name, c in cluster.containers.items():
+                self.snap[name] = (c.alloc_core_seconds, c.busy_weighted_seconds)
+
+        sim.schedule_at(self.t_measure, take_snapshot)
+
+        self.monitors = monitors
+        if monitors is not None:
+            monitors.arm(
+                sim,
+                cluster,
+                controller=controller,
+                client=self.client,
+                shard_safe_only=shards > 1,
+            )
+
+        if self.client is not None:
+            self.client.begin()
+        controller.start()
+
+        self.cpu_ns = 0
+        self.last_window_ns = 0
+        self.crit_ns = 0
+        self.rounds = 0
+        #: Committed horizons, in order (property tests read this).
+        self.barrier_history: List[float] = []
+
+    # ------------------------------------------------------------- protocol
+    def round_message(self) -> Tuple[float, Dict[int, list]]:
+        """This round's promise + per-peer wire batches."""
+        promise = self.ctx.take_promise(self.sim.next_event_time())
+        outboxes = {
+            dest: self.ctx.take_outbox(dest)
+            for dest in range(self.n_shards)
+            if dest != self.shard_id
+        }
+        return promise, outboxes
+
+    def absorb(self, src_shard: int, batch: list) -> None:
+        """Accept a peer's wire batch: ledger check, token resolution,
+        receiver-side latency + delivery scheduling."""
+        ctx = self.ctx
+        recv = self.cluster.network.recv_boundary
+        for wire in batch:
+            ctx.accept_seq(src_shard, wire[0])
+            recv(
+                wire[1], wire[2], wire[3], wire[4], wire[5],
+                wire[6], wire[7], wire[8], ctx.resolve_token(wire[9]),
+            )
+
+    def advance(self, until: float) -> None:
+        """Run the local loop up to the committed horizon."""
+        self.barrier_history.append(until)
+        t0 = time.process_time_ns()
+        self.sim.run(until=until)
+        dt = time.process_time_ns() - t0
+        self.cpu_ns += dt
+        self.last_window_ns = dt
+
+    # -------------------------------------------------------------- results
+    def finish(self, *, finalize_monitors: bool) -> dict:
+        """Stop the controller, settle accounting, and return the
+        picklable per-shard partial results for the merge."""
+        self.controller.stop()
+        self.cluster.sync_all()
+        violations: List[Tuple[float, str, str]] = []
+        checks = 0
+        if self.monitors is not None and finalize_monitors:
+            self.monitors.finalize()
+            checks = self.monitors.total_checks
+            violations = [
+                (v.time, v.monitor, f"shard {self.shard_id} {v.monitor}: {v.message}")
+                for v in self.monitors.all_violations
+            ]
+
+        cluster, cfg = self.cluster, self.cfg
+        local = cluster.local_containers()
+        # Per-container accounting deltas rather than a partial sum: the
+        # merge accumulates them in canonical container order with the
+        # serial harness's exact arithmetic, so the merged energy is
+        # bit-identical to serial whenever the dynamics are (jitter=0).
+        accounting = {}
+        for name in local:
+            c = cluster.containers[name]
+            a0, b0 = self.snap.get(name, (0.0, 0.0))
+            accounting[name] = (
+                c.alloc_core_seconds - a0,
+                c.busy_weighted_seconds - b0,
+            )
+        allocs = cluster.allocations()
+        freqs = cluster.frequencies()
+        net = cluster.network
+        return {
+            "shard": self.shard_id,
+            "ledger": self.ctx.ledger(),
+            "events_fired": self.sim.events_fired,
+            "packets_sent": net.packets_sent,
+            "packets_delivered": net.packets_delivered,
+            "packets_dropped": net.packets_dropped,
+            "packets_unroutable": net.packets_unroutable,
+            "alloc": {name: allocs[name] for name in local},
+            "freq": {name: freqs[name] for name in local},
+            "accounting": accounting,
+            "controller_stats": asdict(self.controller.stats),
+            "fast_path_packets": getattr(self.controller, "packets_inspected", 0),
+            "fast_path_violations": getattr(
+                self.controller, "fast_path_violations", 0
+            ),
+            "alloc_events": list(cluster.alloc_events),
+            "freq_events": list(cluster.freq_events),
+            "cpu_ns": self.cpu_ns,
+            "rounds": self.rounds,
+            "monitor_checks": checks,
+            "monitor_violations": violations,
+        }
+
+
+# --------------------------------------------------------------------------
+# Drivers
+# --------------------------------------------------------------------------
+
+Exchange = Callable[
+    [int, float, Dict[int, list], int],
+    Tuple[List[float], List[Tuple[int, list]], List[int]],
+]
+
+
+def _drive(runner: ShardRunner, exchange: Exchange) -> None:
+    """The barrier loop, identical for process workers and shard 0.
+
+    Every iteration performs exactly one all-to-all exchange, so all
+    shards execute the same number of rounds (the loop's control flow
+    depends only on the shared barrier history) — that lockstep is what
+    makes the blocking pipe protocol deadlock-free.  Two flush rounds
+    end the run: the first fires deliveries landing exactly on the
+    final horizon, the second hands over anything those fired events
+    sent (receivers schedule them like serial's never-fired pending
+    events, balancing the conservation ledger).
+    """
+    flushes = 0
+    rounds = 0
+    while True:
+        promise, outboxes = runner.round_message()
+        promises, inbound, windows = exchange(
+            rounds, promise, outboxes, runner.last_window_ns
+        )
+        runner.crit_ns += max(windows)
+        for src, batch in inbound:
+            runner.absorb(src, batch)
+        rounds += 1
+        if runner.sim.now >= runner.t_final:
+            flushes += 1
+            if flushes == 2:
+                break
+            runner.advance(runner.t_final)
+        else:
+            runner.advance(next_barrier(promises, runner.lookahead, runner.t_final))
+    runner.rounds = rounds
+
+
+def _make_exchange(
+    shard_id: int, shards: int, conns: Dict[int, "mp.connection.Connection"]
+) -> Exchange:
+    """All-to-all pipe exchange for one shard (deterministic peer order)."""
+    peers = sorted(conns)
+
+    def exchange(round_idx, promise, outboxes, window_ns):
+        for peer in peers:
+            conns[peer].send((round_idx, promise, outboxes[peer], window_ns))
+        promises = [0.0] * shards
+        windows = [0] * shards
+        promises[shard_id] = promise
+        windows[shard_id] = window_ns
+        inbound = []
+        for peer in peers:
+            got_round, got_promise, batch, got_ns = conns[peer].recv()
+            if got_round != round_idx:
+                raise RuntimeError(
+                    f"barrier desync: shard {shard_id} at round {round_idx} "
+                    f"received round {got_round} from shard {peer}"
+                )
+            promises[peer] = got_promise
+            windows[peer] = got_ns
+            inbound.append((peer, batch))
+        return promises, inbound, windows
+
+    return exchange
+
+
+def _shard_worker(
+    cfg: ExperimentConfig,
+    targets,
+    shard_id: int,
+    shards: int,
+    conns: Dict[int, "mp.connection.Connection"],
+    arm_monitors: bool,
+) -> None:
+    """Process target for shards 1..K-1."""
+    try:
+        monitors = None
+        if arm_monitors:
+            from repro.validate.monitors import MonitorSet
+
+            monitors = MonitorSet()
+        runner = ShardRunner(cfg, targets, shard_id, shards, monitors=monitors)
+        _drive(runner, _make_exchange(shard_id, shards, conns))
+        conns[0].send(("result", runner.finish(finalize_monitors=True)))
+    except BaseException:
+        try:
+            conns[0].send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+
+
+# --------------------------------------------------------------------------
+# Entry point + merge
+# --------------------------------------------------------------------------
+
+
+def run_sharded(
+    cfg: ExperimentConfig,
+    targets,
+    *,
+    shards: int,
+    monitors=None,
+    probe=None,
+    inline: bool = False,
+) -> ExperimentResult:
+    """Execute one experiment across ``shards`` event loops and merge.
+
+    ``targets`` must be pre-resolved (workers never profile).  The
+    calling process *is* shard 0 — its client, controller, and cluster
+    stay readable in-process, so ``probe``/``monitors`` semantics match
+    the serial harness with shard-0 scope; fleet-merged counters are in
+    ``result.shard_stats``.  ``inline=True`` runs every shard lockstep
+    in this process (tests; single-CPU boxes) — same protocol, wire
+    batches still round-tripped through pickle so the serialization
+    seam stays honest.
+    """
+    if shards < 2:
+        raise ShardConfigError("run_sharded requires shards >= 2")
+    _check_sharded_config(cfg, shards)
+
+    if inline:
+        partials, runner0 = _run_inline(cfg, targets, shards, monitors)
+    else:
+        partials, runner0 = _run_procs(cfg, targets, shards, monitors)
+
+    return _merge(cfg, targets, shards, partials, runner0, monitors, probe)
+
+
+def _run_procs(cfg, targets, shards, monitors):
+    pipes = {
+        (i, j): mp.Pipe(duplex=True)
+        for i in range(shards)
+        for j in range(i + 1, shards)
+    }
+
+    def conns_for(shard_id: int) -> Dict[int, "mp.connection.Connection"]:
+        out = {}
+        for peer in range(shards):
+            if peer == shard_id:
+                continue
+            a, b = min(shard_id, peer), max(shard_id, peer)
+            out[peer] = pipes[(a, b)][0 if shard_id == a else 1]
+        return out
+
+    workers = [
+        mp.Process(
+            target=_shard_worker,
+            args=(cfg, targets, j, shards, conns_for(j), monitors is not None),
+            daemon=False,
+        )
+        for j in range(1, shards)
+    ]
+    for w in workers:
+        w.start()
+    # Shard 0 keeps only its own connection ends; dropping the worker-to-
+    # worker ends in this process lets a dead worker surface as EOF.
+    my_conns = conns_for(0)
+    for (i, j), (end_a, end_b) in pipes.items():
+        if i != 0:
+            end_a.close()
+            end_b.close()
+        else:
+            end_b.close()
+
+    try:
+        runner0 = ShardRunner(cfg, targets, 0, shards, monitors=monitors)
+        _drive(runner0, _make_exchange(0, shards, my_conns))
+        partials = [None] * shards
+        for j in range(1, shards):
+            tag, payload = my_conns[j].recv()
+            if tag == "error":
+                raise RuntimeError(f"shard {j} failed:\n{payload}")
+            partials[j] = payload
+        for w in workers:
+            w.join(timeout=30.0)
+    except BaseException:
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+        for w in workers:
+            w.join(timeout=5.0)
+        raise
+    return partials, runner0
+
+
+def _run_inline(cfg, targets, shards, monitors):
+    from repro.validate.monitors import MonitorSet
+
+    runners = [
+        ShardRunner(
+            cfg,
+            targets,
+            j,
+            shards,
+            monitors=(
+                monitors
+                if j == 0
+                else (MonitorSet() if monitors is not None else None)
+            ),
+        )
+        for j in range(shards)
+    ]
+    runner0 = runners[0]
+    t_final = runner0.t_final
+    lookahead = runner0.lookahead
+    flushes = 0
+    rounds = 0
+    while True:
+        msgs = [r.round_message() for r in runners]
+        promises = [m[0] for m in msgs]
+        windows = [r.last_window_ns for r in runners]
+        crit = max(windows)
+        for r in runners:
+            r.crit_ns += crit
+        for j, r in enumerate(runners):
+            for src in range(shards):
+                if src == j:
+                    continue
+                # The honest seam: batches cross through pickle exactly
+                # as they would cross a process boundary.
+                batch = pickle.loads(pickle.dumps(msgs[src][1][j]))
+                r.absorb(src, batch)
+        rounds += 1
+        if runner0.sim.now >= t_final:
+            flushes += 1
+            if flushes == 2:
+                break
+            for r in runners:
+                r.advance(t_final)
+        else:
+            barrier = next_barrier(promises, lookahead, t_final)
+            for r in runners:
+                r.advance(barrier)
+    partials = [None] * shards
+    for j, r in enumerate(runners):
+        r.rounds = rounds
+        if j:
+            partials[j] = r.finish(finalize_monitors=True)
+    return partials, runner0
+
+
+def _merge(cfg, targets, shards, partials, runner0, monitors, probe):
+    # Shard 0 settles last: controller stop + sync + (safe) monitor
+    # finalize, in the serial harness's order.
+    partials[0] = runner0.finish(finalize_monitors=True)
+    sim, cluster, client = runner0.sim, runner0.cluster, runner0.client
+
+    ledgers = [p["ledger"] for p in partials]
+    worker_violations = [v for p in partials[1:] for v in p["monitor_violations"]]
+    from repro.validate.monitors import ShardConservationMonitor
+
+    conservation = ShardConservationMonitor()
+    conservation.feed(
+        ledgers, time=runner0.t_final, worker_violations=worker_violations
+    )
+    if monitors is not None:
+        monitors.monitors.append(conservation)
+    elif not conservation.ok:
+        raise RuntimeError(
+            "shard boundary conservation violated: "
+            + "; ".join(v.message for v in conservation.violations)
+        )
+
+    if probe is not None:
+        probe(sim, cluster)
+
+    t, lat = client.stats.completed_arrays()
+    mask = t >= runner0.t_measure
+    t_m, lat_m = t[mask], lat[mask]
+    summary = summarize(t_m, lat_m, targets.qos_target)
+
+    window = runner0.t_final - runner0.t_measure
+    # Accumulate accounting in canonical container order with the serial
+    # harness's exact arithmetic — not per-shard partial sums, whose
+    # different association would drift from serial by an ulp.
+    accounting: Dict[str, Tuple[float, float]] = {}
+    for p in partials:
+        accounting.update(p["accounting"])
+    dvfs = cluster.config.dvfs
+    alloc_cs = 0.0
+    energy = 0.0
+    for name in cluster.containers:
+        d_alloc, d_busy = accounting[name]
+        alloc_cs += d_alloc
+        energy += dvfs.static_w * d_alloc
+        energy += dvfs.dyn_w_at_fmax * d_busy
+    stats_fields = [p["controller_stats"] for p in partials]
+    merged_stats = ControllerStats(
+        **{
+            key: sum(s[key] for s in stats_fields)
+            for key in stats_fields[0]
+        }
+    )
+
+    # One take_snapshot event fires per shard; serial fires exactly one.
+    events_fired = sum(p["events_fired"] for p in partials) - (shards - 1)
+    merged_alloc: Dict[str, float] = {}
+    merged_freq: Dict[str, float] = {}
+    for p in partials:
+        merged_alloc.update(p["alloc"])
+        merged_freq.update(p["freq"])
+    # Canonical container order (every shard builds the same registry).
+    merged_alloc = {name: merged_alloc[name] for name in cluster.containers}
+    merged_freq = {name: merged_freq[name] for name in cluster.containers}
+
+    cpu_totals = [p["cpu_ns"] for p in partials]
+    shard_stats = {
+        "shards": shards,
+        "events_fired": events_fired,
+        "packets_sent": sum(p["packets_sent"] for p in partials),
+        "packets_delivered": sum(p["packets_delivered"] for p in partials),
+        "packets_dropped": sum(p["packets_dropped"] for p in partials),
+        "packets_unroutable": sum(p["packets_unroutable"] for p in partials),
+        "final_alloc": merged_alloc,
+        "final_freq": merged_freq,
+        "rounds": runner0.rounds,
+        "cpu_ns": cpu_totals,
+        "critical_path_ns": runner0.crit_ns,
+        "conservation_ok": conservation.ok,
+        "conservation_checks": conservation.checks,
+        "ledgers": ledgers,
+    }
+
+    alloc_events = sorted(
+        (e for p in partials for e in p["alloc_events"]), key=lambda e: e[0]
+    )
+    freq_events = sorted(
+        (e for p in partials for e in p["freq_events"]), key=lambda e: e[0]
+    )
+
+    return ExperimentResult(
+        config=cfg,
+        controller_name=runner0.controller.name,
+        targets=targets,
+        summary=summary,
+        avg_cores=alloc_cs / window,
+        energy=energy,
+        controller_stats=merged_stats,
+        latency_trace=np.column_stack([t_m, lat_m]) if t_m.size else np.empty((0, 2)),
+        alloc_events=alloc_events,
+        freq_events=freq_events,
+        outstanding=client.stats.outstanding,
+        fast_path_packets=sum(p["fast_path_packets"] for p in partials),
+        fast_path_violations=sum(p["fast_path_violations"] for p in partials),
+        errors=client.stats.errored,
+        requests_sent=client.stats.sent,
+        fault_stats=None,
+        shard_stats=shard_stats,
+    )

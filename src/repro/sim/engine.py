@@ -198,6 +198,43 @@ class Simulator:
         """
         return self.events_pending - self._cancelled_pending
 
+    def next_event_time(self) -> float:
+        """Time of the earliest *live* pending event, or ``math.inf``.
+
+        The sharded tier's conservative-sync barrier (DESIGN.md §12)
+        needs each shard's local horizon between ``run(until=...)``
+        windows.  Lazily-cancelled heads are dropped here exactly as the
+        run loops would drop them — with the same bookkeeping and
+        handle-recycling — so peeking never perturbs the counters a
+        later run would have produced.
+        """
+        free = self._free
+        getrefcount = sys.getrefcount
+        cal = self._cal
+        if cal is None:
+            heap = self._heap
+            while heap:
+                head = heap[0]
+                if head.fn is not None:
+                    return head.time
+                heapq.heappop(heap)
+                if head.cancelled:
+                    self._cancelled_pending -= 1
+                    if free is not None and getrefcount(head) == 2:
+                        free.append(head)
+            return math.inf
+        while True:
+            head = cal.pop()
+            if head is None:
+                return math.inf
+            if head.fn is not None:
+                cal.push(head)  # O(1) re-insert, same trick as _run_calendar
+                return head.time
+            if head.cancelled:
+                self._cancelled_pending -= 1
+                if free is not None and getrefcount(head) == 2:
+                    free.append(head)
+
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.

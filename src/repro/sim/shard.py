@@ -1,0 +1,310 @@
+"""Shared-nothing sharding primitives: wire codec + conservative sync.
+
+The sharded simulation mode (DESIGN.md §12) partitions the cluster's
+nodes across K independent event loops — one :class:`ShardContext` per
+loop — and models cross-node RPCs that cross a shard boundary as
+inter-shard messages.  This module holds everything the *simulation*
+layer needs to know about sharding; process lifecycle and the barrier
+loop live in :mod:`repro.exec.sharded`.
+
+Conservative time synchronization
+---------------------------------
+
+Shards advance in windows separated by barriers.  At each barrier every
+shard i publishes a **promise** — a lower bound on the earliest thing
+that can still happen on it::
+
+    promise_i = min(next local event time,
+                    min over packets sent this window of send_time + L)
+
+where ``L`` (the *lookahead*) is the network's base cross-node latency
+floor (``NetworkConfig.inter_node_latency``).  The second term covers
+packets that are in flight to a peer whose own promise cannot yet see
+them.  Every shard then commits the identical next barrier::
+
+    t_next = min_i(promise_i) + L
+
+Safety: any packet sent in the next window leaves at ``s >= min_i
+promise_i`` and arrives at ``s + latency >= s + L >= t_next`` (cross-
+node latency is at least ``L``: the jitter factor is ``>= 1`` and surge
+extras / RX overheads are non-negative, and intra-node traffic never
+crosses a shard).  So a packet exchanged at barrier ``t_next`` is never
+in its receiver's past, and each shard's event order is a pure function
+of (seed, shard count) — deterministic across runs.
+
+Progress: ``min_i promise_i >= t_current`` (all events up to the
+barrier have fired and in-window sends have ``send_time + L >=
+t_current``), so each barrier advances time by at least ``L``; when
+queues run dry the barrier jumps straight to the next event horizon, so
+the number of barriers scales with event density, not ``1/L``.
+
+Wire format
+-----------
+
+Cross-shard packets travel as plain tuples (:data:`WIRE_FIELDS`), never
+as pickled :class:`~repro.cluster.packet.RpcPacket` objects: the sender
+releases its pooled packet the moment it is serialized, and the
+receiver re-acquires from *its own* pool — no pooled object ever crosses
+a process, so the PR 5 recycling invariants hold per shard by
+construction.  ``context`` (a caller continuation — unpicklable and
+meaningless elsewhere) is replaced by a :class:`CtxToken` registered on
+the origin shard and restored — and popped — when the matching response
+returns.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CtxToken",
+    "ShardConfigError",
+    "ShardContext",
+    "WIRE_FIELDS",
+    "next_barrier",
+    "shards_from_env",
+]
+
+#: Environment switch: ``REPRO_SHARDS=K`` arms the sharded mode for
+#: experiment runs whose config leaves ``shards`` unset.  ``1`` arms the
+#: bit-identical pass-through; unset/empty leaves the path untouched.
+ENV_SHARDS = "REPRO_SHARDS"
+
+#: The cross-shard wire tuple, in order.  ``seq`` is the per-channel
+#: serial number (conservation ledger); ``context_token`` is ``None`` or
+#: the ``(origin_shard, n)`` pair of a registered continuation.  Every
+#: :class:`RpcPacket` field must be represented here or deliberately
+#: excluded (``_pool_state`` never crosses — pool membership is strictly
+#: per shard); ``tests/exec/test_shard_packet.py`` pins the ledger.
+WIRE_FIELDS = (
+    "seq",
+    "request_id",
+    "kind",
+    "src",
+    "dst",
+    "start_time",
+    "upscale",
+    "send_time",
+    "error",
+    "context_token",
+)
+
+
+class ShardConfigError(ValueError):
+    """Raised for sharding configurations that cannot run correctly."""
+
+
+def shards_from_env() -> Optional[int]:
+    """``REPRO_SHARDS`` as an int, or ``None`` when unset/empty."""
+    raw = os.environ.get(ENV_SHARDS, "").strip()
+    if not raw:
+        return None
+    try:
+        k = int(raw)
+    except ValueError:
+        raise ShardConfigError(f"{ENV_SHARDS}={raw!r} is not an integer") from None
+    if k < 1:
+        raise ShardConfigError(f"{ENV_SHARDS} must be >= 1, got {k}")
+    return k
+
+
+class CtxToken:
+    """Placeholder for a continuation registered on another shard.
+
+    Travels opaquely: a server copies it from request to response
+    exactly like a real context, and only the origin shard resolves it
+    back to the callable.
+    """
+
+    __slots__ = ("origin", "n")
+
+    def __init__(self, origin: int, n: int):
+        self.origin = origin
+        self.n = n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CtxToken shard={self.origin} n={self.n}>"
+
+
+def next_barrier(promises: List[float], lookahead: float, t_final: float) -> float:
+    """The committed next horizon given every shard's promise.
+
+    Identical inputs on every shard → identical result (plain float
+    min/add, no RNG), which is what makes the barrier implicit: no
+    leader, no second message round.
+    """
+    earliest = min(promises)
+    if earliest == math.inf:
+        return t_final
+    return min(earliest + lookahead, t_final)
+
+
+class ShardContext:
+    """One shard's view of the partitioned cluster.
+
+    Owns the boundary state: per-peer outboxes of wire tuples, the
+    conservation ledger (per-channel serial numbers on both ends), the
+    pending-continuation table, and the promise bookkeeping for the
+    conservative-sync protocol.  The network consults it on every send
+    (via the precomputed :attr:`remote_nodes` set) and hands diverted
+    packets to :meth:`divert`.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "n_shards",
+        "lookahead",
+        "outboxes",
+        "outbound_min",
+        "seq_out",
+        "seq_in",
+        "received",
+        "seq_errors",
+        "remote_nodes",
+        "_owner",
+        "_ctx",
+        "_ctx_n",
+    )
+
+    def __init__(self, shard_id: int, n_shards: int, lookahead: float):
+        if not 0 <= shard_id < n_shards:
+            raise ShardConfigError(f"shard_id {shard_id} outside [0, {n_shards})")
+        if n_shards > 1 and lookahead <= 0.0:
+            raise ShardConfigError(
+                "sharded runs need a positive cross-node latency floor "
+                f"(lookahead), got {lookahead!r}"
+            )
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.lookahead = lookahead
+        #: Per-destination-shard lists of wire tuples (own slot unused).
+        self.outboxes: List[List[tuple]] = [[] for _ in range(n_shards)]
+        #: min(send_time + lookahead) over packets diverted since the
+        #: last :meth:`take_promise` — the in-flight half of the promise.
+        self.outbound_min = math.inf
+        #: Next serial number per outbound channel (== packets sent).
+        self.seq_out = [0] * n_shards
+        #: Expected next serial number per inbound channel.
+        self.seq_in = [0] * n_shards
+        #: Packets accepted per inbound channel.
+        self.received = [0] * n_shards
+        #: Out-of-order / duplicated / skipped serials observed inbound.
+        self.seq_errors = 0
+        #: Destination-node objects (or ``None`` for the external client
+        #: endpoint) hosted by *other* shards; the network's divert check.
+        self.remote_nodes: frozenset = frozenset()
+        self._owner: Dict[Any, int] = {}
+        self._ctx: Dict[int, Callable] = {}
+        self._ctx_n = 0
+
+    # ----------------------------------------------------------------- wiring
+    def bind(self, owner_of: Dict[Any, int]) -> None:
+        """Install the endpoint-node → owning-shard map.
+
+        Keys are the cluster's ``Node`` objects plus ``None`` for the
+        external client endpoint (hosted by shard 0, which also runs the
+        workload generator).
+        """
+        self._owner = dict(owner_of)
+        self.remote_nodes = frozenset(
+            node for node, shard in self._owner.items() if shard != self.shard_id
+        )
+
+    def owner_shard(self, node: Any) -> int:
+        """The shard hosting ``node`` (``None`` = the client, shard 0)."""
+        return self._owner[node]
+
+    # ---------------------------------------------------------------- outbound
+    def divert(self, pkt, pool, dst_node) -> None:
+        """Serialize a boundary-crossing packet into the peer's outbox.
+
+        The packet's life on this shard ends here: it is released back
+        to the *local* pool immediately after serialization, so pooled
+        packets never cross shards.  A live continuation is swapped for
+        a :class:`CtxToken`; a token already riding the packet (a
+        response returning through a server shard) passes through.
+        """
+        dest = self._owner[dst_node]
+        ctx = pkt.context
+        if ctx is None:
+            token = None
+        elif type(ctx) is CtxToken:
+            token = (ctx.origin, ctx.n)
+        else:
+            n = self._ctx_n
+            self._ctx_n = n + 1
+            self._ctx[n] = ctx
+            token = (self.shard_id, n)
+        self.outboxes[dest].append(
+            (
+                self.seq_out[dest],
+                pkt.request_id,
+                pkt.kind,
+                pkt.src,
+                pkt.dst,
+                pkt.start_time,
+                pkt.upscale,
+                pkt.send_time,
+                pkt.error,
+                token,
+            )
+        )
+        self.seq_out[dest] += 1
+        horizon = pkt.send_time + self.lookahead
+        if horizon < self.outbound_min:
+            self.outbound_min = horizon
+        pool.release(pkt)
+
+    def take_outbox(self, dest: int) -> List[tuple]:
+        """Drain and return the wire batch destined for shard ``dest``."""
+        batch = self.outboxes[dest]
+        self.outboxes[dest] = []
+        return batch
+
+    def take_promise(self, next_event_time: float) -> float:
+        """This shard's promise for the current barrier (resets the
+        in-flight minimum — the packets it covered are being handed to
+        their receivers at this very barrier)."""
+        promise = min(next_event_time, self.outbound_min)
+        self.outbound_min = math.inf
+        return promise
+
+    # ---------------------------------------------------------------- inbound
+    def accept_seq(self, src_shard: int, seq: int) -> None:
+        """Ledger check: inbound serials must arrive exactly in order."""
+        if seq != self.seq_in[src_shard]:
+            self.seq_errors += 1
+        self.seq_in[src_shard] = seq + 1
+        self.received[src_shard] += 1
+
+    def resolve_token(self, token: Optional[Tuple[int, int]]):
+        """Turn a wire context token back into a packet context.
+
+        On the origin shard the registered continuation is popped (each
+        token resolves exactly once — its response); elsewhere it stays
+        a :class:`CtxToken` for the eventual trip home.
+        """
+        if token is None:
+            return None
+        origin, n = token
+        if origin == self.shard_id:
+            return self._ctx.pop(n)
+        return CtxToken(origin, n)
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def open_contexts(self) -> int:
+        """Continuations still awaiting their cross-shard response."""
+        return len(self._ctx)
+
+    def ledger(self) -> dict:
+        """Picklable conservation snapshot for the monitor/bench layer."""
+        return {
+            "shard": self.shard_id,
+            "sent": list(self.seq_out),
+            "received": list(self.received),
+            "seq_errors": self.seq_errors,
+            "open_contexts": self.open_contexts,
+        }

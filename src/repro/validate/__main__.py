@@ -20,14 +20,20 @@ from repro.validate.scenarios import (
     HORIZONTAL_CONTROLLERS,
     HORIZONTAL_SCENARIOS,
     SCENARIOS,
+    SHARDED_CONTROLLERS,
+    SHARDED_SCENARIOS,
     WORKLOADS,
     ZOO_CONTROLLERS,
     ZOO_SCENARIOS,
     fault_matrix,
     horizontal_matrix,
     scenario_matrix,
+    sharded_matrix,
     zoo_matrix,
 )
+
+#: Cell-family names accepted by ``--family`` (in matrix order).
+FAMILIES = ("base", "faults", "horizontal", "zoo", "sharded")
 
 
 def main(argv: Optional[Iterable[str]] = None) -> int:
@@ -51,10 +57,23 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         "--scenario", action="append",
         choices=tuple(
             dict.fromkeys(
-                SCENARIOS + FAULT_SCENARIOS + HORIZONTAL_SCENARIOS + ZOO_SCENARIOS
+                SCENARIOS
+                + FAULT_SCENARIOS
+                + HORIZONTAL_SCENARIOS
+                + ZOO_SCENARIOS
+                + SHARDED_SCENARIOS
             )
         ),
         help="restrict to a traffic shape or fault scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--family", action="append", choices=FAMILIES,
+        help=(
+            "restrict to a cell family (repeatable); e.g. the "
+            "REPRO_SHARDS=2 CI leg runs only '--family sharded' because "
+            "the other families use replicas, faults, or non-shardable "
+            "controllers"
+        ),
     )
     parser.add_argument(
         "--update-golden", action="store_true",
@@ -73,35 +92,48 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     # controller / scenario names it recognises (a fault-only filter
     # yields no base cells and vice versa), and fault cells exist only
     # for the chain workload and its controller subset.
-    base_shapes = fault_shapes = hpa_shapes = zoo_shapes = None
+    base_shapes = fault_shapes = hpa_shapes = zoo_shapes = sharded_shapes = None
     if args.scenario is not None:
         base_shapes = [s for s in args.scenario if s in SCENARIOS]
         fault_shapes = [s for s in args.scenario if s in FAULT_SCENARIOS]
         hpa_shapes = [s for s in args.scenario if s in HORIZONTAL_SCENARIOS]
         zoo_shapes = [s for s in args.scenario if s in ZOO_SCENARIOS]
-    base_ctrls = fault_ctrls = hpa_ctrls = zoo_ctrls = None
+        sharded_shapes = [s for s in args.scenario if s in SHARDED_SCENARIOS]
+    base_ctrls = fault_ctrls = hpa_ctrls = zoo_ctrls = sharded_ctrls = None
     if args.controller is not None:
         base_ctrls = [c for c in args.controller if c in CONTROLLERS]
         fault_ctrls = [c for c in args.controller if c in FAULT_CONTROLLERS]
         hpa_ctrls = [c for c in args.controller if c in HORIZONTAL_CONTROLLERS]
         zoo_ctrls = [c for c in args.controller if c in ZOO_CONTROLLERS]
-    cells = scenario_matrix(
-        workloads=args.workload,
-        controllers=base_ctrls,
-        scenarios=base_shapes,
-    )
-    if args.workload is None or "chain" in args.workload:
+        sharded_ctrls = [c for c in args.controller if c in SHARDED_CONTROLLERS]
+    families = FAMILIES if args.family is None else tuple(args.family)
+    cells = []
+    if "base" in families:
+        cells += scenario_matrix(
+            workloads=args.workload,
+            controllers=base_ctrls,
+            scenarios=base_shapes,
+        )
+    if "faults" in families and (args.workload is None or "chain" in args.workload):
         cells += fault_matrix(controllers=fault_ctrls, scenarios=fault_shapes)
-    cells += horizontal_matrix(
-        workloads=args.workload,
-        controllers=hpa_ctrls,
-        scenarios=hpa_shapes,
-    )
-    cells += zoo_matrix(
-        workloads=args.workload,
-        controllers=zoo_ctrls,
-        scenarios=zoo_shapes,
-    )
+    if "horizontal" in families:
+        cells += horizontal_matrix(
+            workloads=args.workload,
+            controllers=hpa_ctrls,
+            scenarios=hpa_shapes,
+        )
+    if "zoo" in families:
+        cells += zoo_matrix(
+            workloads=args.workload,
+            controllers=zoo_ctrls,
+            scenarios=zoo_shapes,
+        )
+    if "sharded" in families:
+        cells += sharded_matrix(
+            workloads=args.workload,
+            controllers=sharded_ctrls,
+            scenarios=sharded_shapes,
+        )
     if args.list:
         for cell in cells:
             print(cell.key)

@@ -23,6 +23,7 @@ from repro.validate.scenarios import (
     fault_matrix,
     horizontal_matrix,
     scenario_matrix,
+    sharded_matrix,
     zoo_matrix,
 )
 
@@ -124,7 +125,11 @@ def run_matrix(
     """
     if cells is None:
         cells = (
-            scenario_matrix() + fault_matrix() + horizontal_matrix() + zoo_matrix()
+            scenario_matrix()
+            + fault_matrix()
+            + horizontal_matrix()
+            + zoo_matrix()
+            + sharded_matrix()
         )
     goldens = load_goldens(golden_file)
     report = MatrixReport()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.network import NetworkConfig
 from repro.exec.specs import spec
 from repro.experiments.harness import ExperimentConfig
 from repro.faults.plan import (
@@ -39,6 +40,8 @@ __all__ = [
     "HORIZONTAL_CONTROLLERS",
     "HORIZONTAL_SCENARIOS",
     "SCENARIOS",
+    "SHARDED_CONTROLLERS",
+    "SHARDED_SCENARIOS",
     "WORKLOADS",
     "ZOO_CONTROLLERS",
     "ZOO_SCENARIOS",
@@ -46,6 +49,7 @@ __all__ = [
     "fault_matrix",
     "horizontal_matrix",
     "scenario_matrix",
+    "sharded_matrix",
     "zoo_matrix",
 ]
 
@@ -340,6 +344,79 @@ def zoo_matrix(
                         controller=controller,
                         scenario=scenario,
                         config=_zoo_cell_config(workload_key, controller, scenario),
+                    )
+                )
+    return cells
+
+
+#: Sharded-family controllers: only shardable ones are eligible
+#: (``Controller.shardable`` — strictly per-node state).
+SHARDED_CONTROLLERS: Tuple[str, ...] = ("null", "surgeguard")
+
+#: Sharded-family scenarios (distinct names — the keys must not collide
+#: with the base matrix's ``family/controller/steady`` cells).
+SHARDED_SCENARIOS: Tuple[str, ...] = ("sharded-steady", "sharded-spike")
+
+
+def _sharded_cell_config(workload_key: str, controller: str, scenario: str) -> ExperimentConfig:
+    # jitter=0 makes the dynamics an exact invariant of the shard count
+    # (the only serial/sharded divergence is jitter-draw interleaving),
+    # so one committed golden pins serial, shards=1, and shards=2 alike.
+    # ``shards`` stays None: the REPRO_SHARDS environment (the CI matrix
+    # legs) decides how each cell actually executes.
+    cfg = ExperimentConfig(
+        workload=workload_key,
+        controller_factory=spec(controller),
+        spike_magnitude=None,
+        n_nodes=4,
+        network=NetworkConfig(jitter=0.0),
+        **_BASE,
+    )
+    if scenario == "sharded-steady":
+        return cfg
+    if scenario == "sharded-spike":
+        return replace(cfg, **_SPIKE)
+    raise ValueError(f"unknown sharded scenario {scenario!r}")
+
+
+def sharded_matrix(
+    *,
+    workloads: Optional[List[str]] = None,
+    controllers: Optional[List[str]] = None,
+    scenarios: Optional[List[str]] = None,
+) -> List[Scenario]:
+    """The shard-invariance cells: every workload family × {null,
+    surgeguard} × {steady, spike} on a 4-node, jitter-free fabric."""
+    families = list(WORKLOADS) if workloads is None else workloads
+    ctrls = list(SHARDED_CONTROLLERS) if controllers is None else controllers
+    shapes = list(SHARDED_SCENARIOS) if scenarios is None else scenarios
+    cells = []
+    for family in families:
+        try:
+            workload_key = WORKLOADS[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload family {family!r}; known: {sorted(WORKLOADS)}"
+            ) from None
+        for controller in ctrls:
+            if controller not in SHARDED_CONTROLLERS:
+                raise KeyError(
+                    f"unknown sharded controller {controller!r}; "
+                    f"known: {list(SHARDED_CONTROLLERS)}"
+                )
+            for scenario in shapes:
+                if scenario not in SHARDED_SCENARIOS:
+                    raise KeyError(
+                        f"unknown sharded scenario {scenario!r}; "
+                        f"known: {list(SHARDED_SCENARIOS)}"
+                    )
+                cells.append(
+                    Scenario(
+                        workload_family=family,
+                        workload_key=workload_key,
+                        controller=controller,
+                        scenario=scenario,
+                        config=_sharded_cell_config(workload_key, controller, scenario),
                     )
                 )
     return cells

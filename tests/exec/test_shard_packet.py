@@ -1,0 +1,200 @@
+"""The cross-shard wire codec: field ledger, round-trip, pool isolation.
+
+Cross-shard packets travel as plain tuples (``WIRE_FIELDS``), never as
+pickled ``RpcPacket`` objects.  These tests pin the codec the same way
+``tests/cluster/test_packet.py`` pins the clone helpers: every packet
+field must be *classified* — carried on the wire, translated (``context``
+→ ``context_token``), or deliberately excluded (``_pool_state``) — so a
+field added to ``RpcPacket`` fails here until the wire format accounts
+for it.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cluster.packet import PacketPool, REQUEST, RESPONSE, RpcPacket
+from repro.sim.shard import CtxToken, ShardContext, WIRE_FIELDS
+
+#: Lookahead used by every context in this file (any positive value).
+L = 20e-6
+
+#: Sentinel node objects standing in for cluster ``Node``s.
+NODE_A, NODE_B = object(), object()
+
+#: node -> owning shard: A on shard 0, B on shard 1, client on shard 0.
+OWNERS = {NODE_A: 0, NODE_B: 1, None: 0}
+
+
+def make_ctx(shard_id: int, n_shards: int = 2) -> ShardContext:
+    ctx = ShardContext(shard_id, n_shards, L)
+    ctx.bind(OWNERS)
+    return ctx
+
+
+def source_packet(pool=None, context=None) -> RpcPacket:
+    """A packet with a distinctive non-default value in every field."""
+    kw = dict(
+        request_id=91,
+        kind=REQUEST,
+        src="caller",
+        dst="callee",
+        start_time=6.5,
+        upscale=4,
+        error=True,
+        context=context,
+    )
+    if pool is not None:
+        pkt = pool.acquire(**kw)
+    else:
+        pkt = RpcPacket(**kw)
+    pkt.send_time = 2.25
+    return pkt
+
+
+class TestFieldLedger:
+    """Every ``RpcPacket`` field is classified by the wire format."""
+
+    #: Wire slots that are shard protocol, not packet payload.
+    PROTOCOL_ONLY = {"seq"}
+    #: Packet fields carried under a translated name.
+    TRANSLATED = {"context_token": "context"}
+    #: Packet fields that deliberately never cross a shard boundary.
+    EXCLUDED = {"_pool_state"}
+
+    def test_every_packet_field_is_on_the_wire_or_excluded(self):
+        carried = {
+            self.TRANSLATED.get(name, name)
+            for name in WIRE_FIELDS
+            if name not in self.PROTOCOL_ONLY
+        }
+        packet_fields = {f.name for f in dataclasses.fields(RpcPacket)}
+        unclassified = packet_fields - carried - self.EXCLUDED
+        assert not unclassified, (
+            f"RpcPacket fields {unclassified} are neither on the wire nor "
+            "deliberately excluded — extend WIRE_FIELDS (and divert/"
+            "recv_boundary) or add them to EXCLUDED here on purpose"
+        )
+        phantom = carried - packet_fields
+        assert not phantom, f"wire names {phantom} match no RpcPacket field"
+
+    def test_divert_serializes_every_wire_field(self):
+        # The wire tuple must carry the packet's exact values, position
+        # for position, and survive the pickle boundary intact.
+        ctx = make_ctx(0)
+        pool = PacketPool(enabled=True)
+        pkt = source_packet(pool)
+        expected = {
+            name: getattr(pkt, name)
+            for name in WIRE_FIELDS
+            if name not in self.PROTOCOL_ONLY and name not in self.TRANSLATED
+        }
+        ctx.divert(pkt, pool, NODE_B)
+        (wire,) = pickle.loads(pickle.dumps(ctx.take_outbox(1)))
+        assert len(wire) == len(WIRE_FIELDS)
+        row = dict(zip(WIRE_FIELDS, wire))
+        assert row["seq"] == 0
+        assert row["context_token"] is None
+        for name, value in expected.items():
+            assert row[name] == value, f"wire field {name!r} corrupted"
+
+
+class TestContextTokens:
+    def test_live_context_is_swapped_for_origin_token(self):
+        ctx = make_ctx(0)
+        pool = PacketPool(enabled=True)
+        marker = ("continuation",)
+        pkt = source_packet(pool, context=marker)
+        ctx.divert(pkt, pool, NODE_B)
+        (wire,) = ctx.take_outbox(1)
+        assert wire[-1] == (0, 0)
+        assert ctx.open_contexts == 1
+        # The origin shard resolves its own token back — exactly once.
+        assert ctx.resolve_token(wire[-1]) is marker
+        assert ctx.open_contexts == 0
+
+    def test_foreign_token_passes_through_both_directions(self):
+        # A server shard relaying a response must forward the origin's
+        # token opaquely: resolve gives a CtxToken, divert re-encodes it.
+        server = make_ctx(1)
+        restored = server.resolve_token((0, 7))
+        assert isinstance(restored, CtxToken)
+        assert (restored.origin, restored.n) == (0, 7)
+        pool = PacketPool(enabled=True)
+        pkt = source_packet(pool, context=restored)
+        server.divert(pkt, pool, NODE_A)
+        (wire,) = server.take_outbox(0)
+        assert wire[-1] == (0, 7)
+        assert server.open_contexts == 0  # nothing registered on relay
+
+
+class TestPoolIsolation:
+    """Pooled packets never cross shards — each side uses its own pool."""
+
+    def test_divert_releases_to_the_sender_pool(self):
+        ctx = make_ctx(0)
+        pool = PacketPool(enabled=True)
+        pkt = source_packet(pool)
+        assert pool.free == 0
+        ctx.divert(pkt, pool, NODE_B)
+        assert pool.free == 1  # back on the sender's free list
+        assert pool.released == 1
+
+    def test_receiver_reacquires_from_its_own_pool(self):
+        sender_pool = PacketPool(enabled=True)
+        receiver_pool = PacketPool(enabled=True)
+        ctx = make_ctx(0)
+        pkt = source_packet(sender_pool)
+        ctx.divert(pkt, sender_pool, NODE_B)
+        (wire,) = pickle.loads(pickle.dumps(ctx.take_outbox(1)))
+        # What recv_boundary does on the receiving shard: acquire from
+        # the *receiver's* pool, then stamp the original send_time.
+        row = dict(zip(WIRE_FIELDS, wire))
+        rebuilt = receiver_pool.acquire(
+            row["request_id"], row["kind"], row["src"], row["dst"],
+            row["start_time"], row["upscale"], error=row["error"],
+            context=None,
+        )
+        rebuilt.send_time = row["send_time"]
+        assert rebuilt is not pkt
+        assert receiver_pool.constructed == 1
+        assert sender_pool.free == 1  # original never left its shard
+        for f in dataclasses.fields(RpcPacket):
+            if f.name in ("context", "_pool_state"):
+                continue
+            assert getattr(rebuilt, f.name) == getattr(
+                source_packet(), f.name
+            ), f"field {f.name!r} did not survive the shard boundary"
+
+    def test_double_release_still_raises_after_divert(self):
+        # divert is the sender-side release point; a second release of
+        # the same object must trip the pool's corruption guard.
+        ctx = make_ctx(0)
+        pool = PacketPool(enabled=True)
+        pkt = source_packet(pool)
+        ctx.divert(pkt, pool, NODE_B)
+        with pytest.raises(Exception, match="double release"):
+            pool.release(pkt)
+
+
+class TestConservationLedger:
+    def test_serials_count_up_per_channel(self):
+        ctx = make_ctx(0)
+        pool = PacketPool(enabled=True)
+        for expected_seq in range(3):
+            pkt = source_packet(pool)
+            ctx.divert(pkt, pool, NODE_B)
+        seqs = [wire[0] for wire in ctx.take_outbox(1)]
+        assert seqs == [0, 1, 2]
+        assert ctx.seq_out[1] == 3
+        assert ctx.ledger()["sent"] == [0, 3]
+
+    def test_in_order_accepts_are_clean_and_gaps_are_flagged(self):
+        rx = make_ctx(1)
+        rx.accept_seq(0, 0)
+        rx.accept_seq(0, 1)
+        assert rx.seq_errors == 0
+        rx.accept_seq(0, 3)  # serial 2 lost (or duplicated elsewhere)
+        assert rx.seq_errors == 1
+        assert rx.ledger()["received"] == [3, 0]

@@ -1,0 +1,178 @@
+"""The sharded execution tier: config gates, merge math, equivalence.
+
+``run_sharded`` partitions the cluster's nodes across K conservative-
+sync event loops and merges the partial results back into one
+``ExperimentResult``.  At ``NetworkConfig(jitter=0.0)`` the dynamics are
+provably shard-invariant (the only RNG the boundary re-draws is the
+jitter factor), so the merged result must equal the serial run **bit for
+bit** — exact ``==``, no ``approx``, same policy as the golden matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import NetworkConfig
+from repro.exec.sharded import resolve_shards, run_sharded
+from repro.exec.specs import spec
+from repro.experiments.harness import (
+    ExperimentConfig,
+    clear_profile_cache,
+    profile_targets,
+    run_experiment,
+)
+from repro.sim.shard import ShardConfigError
+from repro.validate.monitors import MonitorSet, ShardConservationMonitor
+
+
+def _cell(**overrides) -> ExperimentConfig:
+    base = dict(
+        workload="chain",
+        controller_factory=spec("surgeguard"),
+        spike_magnitude=None,
+        n_nodes=4,
+        duration=0.6,
+        warmup=0.3,
+        profile_duration=0.3,
+        drain=0.3,
+        seed=5,
+        network=NetworkConfig(jitter=0.0),
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _targets(cfg):
+    clear_profile_cache()
+    return profile_targets(cfg)
+
+
+class TestConfigGates:
+    def test_fewer_than_two_shards_rejected(self):
+        cfg = _cell()
+        with pytest.raises(ShardConfigError, match=">= 2"):
+            run_sharded(cfg, None, shards=1)
+
+    def test_more_shards_than_nodes_rejected(self):
+        cfg = _cell(n_nodes=2)
+        with pytest.raises(ShardConfigError, match="split"):
+            run_sharded(cfg, None, shards=3)
+
+    def test_replica_tier_rejected(self):
+        cfg = _cell(replicas=2)
+        with pytest.raises(ShardConfigError, match="replica"):
+            run_sharded(cfg, None, shards=2)
+
+    def test_non_shardable_controller_rejected(self):
+        cfg = _cell(controller_factory=spec("statuscale"))
+        with pytest.raises(ShardConfigError, match="not shardable"):
+            run_sharded(cfg, None, shards=2)
+
+    def test_resolve_shards_prefers_config_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(_cell(shards=2)) == 2
+        assert resolve_shards(_cell()) == 4
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert resolve_shards(_cell()) is None
+
+
+class TestInlineEquivalence:
+    """K=2 inline vs serial, at jitter=0: bitwise-equal merge."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cfg = _cell()
+        targets = _targets(cfg)
+        captured = {}
+
+        def serial_probe(sim, cluster):
+            captured["serial_sim"] = sim
+            captured["serial_cluster"] = cluster
+
+        serial = run_experiment(cfg, targets, probe=serial_probe)
+        monitors = MonitorSet()
+        sharded = run_sharded(
+            cfg, targets, shards=2, monitors=monitors, inline=True
+        )
+        return serial, sharded, monitors, captured
+
+    def test_headline_metrics_bit_identical(self, runs):
+        serial, sharded, _, _ = runs
+        assert sharded.summary.violation_volume == serial.summary.violation_volume
+        assert sharded.summary.violation_duration == serial.summary.violation_duration
+        assert sharded.summary.p99 == serial.summary.p99
+        assert sharded.summary.count == serial.summary.count
+        assert sharded.avg_cores == serial.avg_cores
+        assert sharded.energy == serial.energy
+        assert np.array_equal(sharded.latency_trace, serial.latency_trace)
+
+    def test_merged_counters_match_serial(self, runs):
+        # The whole point of the merge math (Σ shards, −(K−1) duplicate
+        # snapshot events, accounting replayed in serial order): the
+        # fleet-wide counters must equal the serial probe's exactly.
+        serial, sharded, _, captured = runs
+        sim = captured["serial_sim"]
+        cluster = captured["serial_cluster"]
+        ss = sharded.shard_stats
+        assert ss["shards"] == 2
+        assert ss["events_fired"] == sim.events_fired
+        assert ss["packets_sent"] == cluster.network.packets_sent
+        assert ss["packets_delivered"] == cluster.network.packets_delivered
+        assert dict(ss["final_alloc"]) == cluster.allocations()
+        assert dict(ss["final_freq"]) == cluster.frequencies()
+        assert sharded.controller_stats.decision_cycles == (
+            serial.controller_stats.decision_cycles
+        )
+        assert sharded.fast_path_packets == serial.fast_path_packets
+        assert sharded.fast_path_violations == serial.fast_path_violations
+
+    def test_conservation_ledger_balances(self, runs):
+        _, sharded, monitors, _ = runs
+        ss = sharded.shard_stats
+        assert ss["conservation_ok"] is True
+        assert ss["conservation_checks"] > 0
+        ledgers = ss["ledgers"]
+        for a in range(2):
+            for b in range(2):
+                if a == b:
+                    continue
+                sent = ledgers[a]["sent"][b]
+                received = ledgers[b]["received"][a]
+                assert sent == received
+                assert sent > 0  # the boundary was actually exercised
+            assert ledgers[a]["seq_errors"] == 0
+            assert ledgers[a]["open_contexts"] == 0
+        tail = monitors.monitors[-1]
+        assert isinstance(tail, ShardConservationMonitor)
+        assert not monitors.all_violations
+
+    def test_alloc_and_freq_events_are_time_sorted(self, runs):
+        _, sharded, _, _ = runs
+        for events in (sharded.alloc_events, sharded.freq_events):
+            times = [e[0] for e in events]
+            assert times == sorted(times)
+
+
+class TestProcessDriver:
+    @pytest.mark.slow
+    def test_worker_processes_match_the_inline_driver(self):
+        # Same cell, same protocol: real pipes + processes vs lockstep
+        # in-process must produce the identical merged result.
+        cfg = _cell()
+        targets = _targets(cfg)
+        inline = run_sharded(cfg, targets, shards=2, inline=True)
+        procs = run_sharded(cfg, targets, shards=2, inline=False)
+        assert procs.summary.count == inline.summary.count
+        assert procs.summary.violation_volume == inline.summary.violation_volume
+        assert procs.energy == inline.energy
+        assert np.array_equal(procs.latency_trace, inline.latency_trace)
+        si, sp = inline.shard_stats, procs.shard_stats
+        for key in (
+            "events_fired",
+            "packets_sent",
+            "packets_delivered",
+            "rounds",
+            "final_alloc",
+            "final_freq",
+            "conservation_ok",
+        ):
+            assert sp[key] == si[key], key

@@ -1,0 +1,103 @@
+"""``shards=1`` is a bit-identical pass-through of the serial harness.
+
+The armed-but-empty boundary (``arm_passthrough``) must change nothing:
+no extra RNG draw, no counter drift, no latency change — the committed
+golden matrix runs green under ``REPRO_SHARDS=1`` because of this
+contract, and this test pins it at fingerprint granularity on a cell
+with jitter, spikes, and the SurgeGuard fast path all active.
+"""
+
+import pytest
+
+from repro.exec.sharded import arm_passthrough
+from repro.exec.specs import spec
+from repro.experiments.harness import (
+    ExperimentConfig,
+    clear_profile_cache,
+    run_experiment,
+)
+from repro.sim.shard import ShardConfigError, shards_from_env
+from repro.validate.fingerprint import fingerprint_diff, scenario_fingerprint
+
+
+def _cell() -> ExperimentConfig:
+    return ExperimentConfig(
+        workload="chain",
+        controller_factory=spec("surgeguard"),
+        spike_magnitude=1.75,
+        spike_len=0.5,
+        spike_period=2.0,
+        spike_offset=0.25,
+        duration=1.5,
+        warmup=0.5,
+        profile_duration=0.5,
+        drain=0.5,
+        n_nodes=2,
+        seed=11,
+    )
+
+
+def _fingerprint(cfg):
+    captured = {}
+
+    def probe(sim, cluster):
+        captured["sim"] = sim
+        captured["cluster"] = cluster
+
+    clear_profile_cache()
+    result = run_experiment(cfg, probe=probe)
+    return scenario_fingerprint(result, captured["sim"], captured["cluster"])
+
+
+class TestPassThroughIdentity:
+    def test_env_shards1_fingerprint_is_bit_identical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        plain = _fingerprint(_cell())
+        monkeypatch.setenv("REPRO_SHARDS", "1")
+        armed = _fingerprint(_cell())
+        assert fingerprint_diff(plain, armed) == []
+
+    def test_config_shards1_fingerprint_is_bit_identical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        import dataclasses
+
+        plain = _fingerprint(_cell())
+        armed = _fingerprint(dataclasses.replace(_cell(), shards=1))
+        assert fingerprint_diff(plain, armed) == []
+
+
+class TestEnvSwitch:
+    def test_unset_and_empty_mean_untouched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert shards_from_env() is None
+        monkeypatch.setenv("REPRO_SHARDS", "  ")
+        assert shards_from_env() is None
+
+    def test_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "two")
+        with pytest.raises(ShardConfigError, match="not an integer"):
+            shards_from_env()
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        with pytest.raises(ShardConfigError, match=">= 1"):
+            shards_from_env()
+
+
+class TestArmPassthrough:
+    def test_remote_set_is_empty_and_owner_covers_everything(self):
+        # Build a real cluster through a tiny run and re-arm it: every
+        # node (plus the client endpoint, None) maps to shard 0, so the
+        # network's divert check can never fire.
+        captured = {}
+
+        def probe(sim, cluster):
+            captured["cluster"] = cluster
+
+        clear_profile_cache()
+        run_experiment(_cell(), probe=probe)
+        ctx = arm_passthrough(captured["cluster"])
+        assert ctx.remote_nodes == frozenset()
+        assert ctx.owner_shard(None) == 0
+        for node in captured["cluster"].nodes:
+            assert ctx.owner_shard(node) == 0

@@ -157,11 +157,19 @@ def test_volume_and_duration_agree_on_violation_presence(trace, qos):
     """Regression for the boundary-convention split: with the shared
     segment classification, positive area and positive time-above are
     the *same* predicate — one metric must never report a violation the
-    other calls clean."""
+    other calls clean.  One escape hatch: a segment can spend positive
+    time above qos while its trapezoid area underflows to exactly 0.0
+    (excess ~5e-324 over a short span), which is float underflow, not a
+    classification disagreement — excused only when the excess area is
+    provably below the underflow scale."""
     t, y = arrays(trace)
     vv = violation_volume(t, y, qos)
     dur = violation_duration(t, y, qos)
-    assert (vv > 0.0) == (dur > 0.0)
+    if vv > 0.0:
+        assert dur > 0.0
+    elif dur > 0.0:
+        max_excess = max(0.0, float(np.max(y)) - qos)
+        assert max_excess * dur < 1e-300
 
 
 @given(traces, qos_values, st.floats(0.1, 1000.0, allow_nan=False))

@@ -21,12 +21,15 @@ from repro.validate.scenarios import (
     HORIZONTAL_CONTROLLERS,
     HORIZONTAL_SCENARIOS,
     SCENARIOS,
+    SHARDED_CONTROLLERS,
+    SHARDED_SCENARIOS,
     WORKLOADS,
     ZOO_CONTROLLERS,
     ZOO_SCENARIOS,
     fault_matrix,
     horizontal_matrix,
     scenario_matrix,
+    sharded_matrix,
     zoo_matrix,
 )
 
@@ -144,6 +147,45 @@ class TestMatrixConstruction:
         with pytest.raises(KeyError):
             zoo_matrix(workloads=["nope"])
 
+    def test_sharded_matrix_shape(self):
+        cells = sharded_matrix()
+        assert len(cells) == (
+            len(WORKLOADS) * len(SHARDED_CONTROLLERS) * len(SHARDED_SCENARIOS)
+        )
+        # Sharded keys never collide with the other families.
+        other = {
+            c.key
+            for c in scenario_matrix()
+            + fault_matrix()
+            + horizontal_matrix()
+            + zoo_matrix()
+        }
+        assert not other & {c.key for c in cells}
+        for cell in cells:
+            cfg = cell.config
+            # jitter=0 is what makes one golden pin every shard count.
+            assert cfg.network is not None and cfg.network.jitter == 0.0, cell.key
+            assert cfg.shards is None, cell.key  # REPRO_SHARDS decides
+            assert cfg.n_nodes == 4, cell.key
+            assert cfg.faults is None and cfg.replicas is None, cell.key
+            if cell.scenario == "sharded-steady":
+                assert cfg.spike_magnitude is None, cell.key
+            else:
+                assert cfg.spike_magnitude is not None, cell.key
+
+    def test_sharded_matrix_filtering_and_rejection(self):
+        cells = sharded_matrix(workloads=["chain"], controllers=["surgeguard"])
+        assert [c.key for c in cells] == [
+            "chain/surgeguard/sharded-steady",
+            "chain/surgeguard/sharded-spike",
+        ]
+        with pytest.raises(KeyError):
+            sharded_matrix(controllers=["statuscale"])
+        with pytest.raises(KeyError):
+            sharded_matrix(scenarios=["steady"])
+        with pytest.raises(KeyError):
+            sharded_matrix(workloads=["nope"])
+
     def test_scenario_shapes(self):
         by_key = {c.key: c for c in scenario_matrix(workloads=["chain"])}
         steady = by_key["chain/null/steady"].config
@@ -166,6 +208,7 @@ class TestGoldenFile:
             + fault_matrix()
             + horizontal_matrix()
             + zoo_matrix()
+            + sharded_matrix()
         }
 
     def test_fault_goldens_record_fault_activity(self):
